@@ -1,0 +1,6 @@
+"""Make the top-level benchmark helpers importable from the ablations dir."""
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent.parent))

@@ -1,0 +1,73 @@
+"""Ablation: key-range allocation size — RPC round-trips vs GC poll width.
+
+Small ranges mean a coordinator RPC for almost every key; large ranges
+amortize RPCs but widen the key span a node-restart GC has to poll
+(Section 3.2's trade-off, which the adaptive policy balances).
+"""
+
+from bench_utils import emit
+
+from repro.bench.report import format_table
+from repro.core.keygen import (
+    NodeKeyCache,
+    ObjectKeyGenerator,
+    RangeSizePolicy,
+)
+from repro.core.log import TransactionLog
+from repro.sim.clock import VirtualClock
+
+KEYS_CONSUMED = 5000
+
+
+def run_with_range(initial: int, adaptive: bool):
+    clock = VirtualClock()
+    generator = ObjectKeyGenerator(TransactionLog())
+    policy = RangeSizePolicy(
+        initial=initial,
+        minimum=initial if not adaptive else 16,
+        maximum=initial if not adaptive else 65536,
+    )
+    cache = NodeKeyCache("w1", generator.allocate_range, clock.now,
+                         policy=policy)
+    for __ in range(KEYS_CONSUMED):
+        cache.next_key()
+    # If the node crashed now, restart GC polls everything outstanding.
+    poll_width = generator.active_set("w1").key_count()
+    return {
+        "rpcs": cache.refill_count,
+        "poll_width": poll_width,
+        "final_range": cache.range_size,
+    }
+
+
+def test_range_size_tradeoff(benchmark):
+    def run():
+        return (
+            run_with_range(16, adaptive=False),
+            run_with_range(4096, adaptive=False),
+            run_with_range(64, adaptive=True),
+        )
+
+    small, large, adaptive = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "ablation_key_range_size",
+        format_table(
+            ["policy", "coordinator RPCs", "GC poll width", "final range"],
+            [
+                ["fixed 16", small["rpcs"], small["poll_width"],
+                 small["final_range"]],
+                ["fixed 4096", large["rpcs"], large["poll_width"],
+                 large["final_range"]],
+                ["adaptive (start 64)", adaptive["rpcs"],
+                 adaptive["poll_width"], adaptive["final_range"]],
+            ],
+        ),
+    )
+    # Small ranges: hundreds of RPCs, tight GC polls.
+    assert small["rpcs"] > 50 * large["rpcs"] / 10
+    assert small["poll_width"] < large["poll_width"]
+    # Large ranges: few RPCs, wide polls.
+    assert large["rpcs"] <= 2
+    # The adaptive policy lands between the extremes on both axes.
+    assert large["rpcs"] <= adaptive["rpcs"] < small["rpcs"]
+    assert adaptive["poll_width"] <= large["poll_width"]

@@ -1,0 +1,49 @@
+"""Shared fixtures for the benchmark suite.
+
+Expensive simulated runs are memoized per session so several table/figure
+benchmarks can share them.  Rendered tables are printed and also written
+to ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.bench import experiments
+
+
+class _Suite:
+    """Lazily computed, memoized experiment results."""
+
+    def __init__(self) -> None:
+        self._volume_runs = None
+        self._ocm_runs = None
+        self._scale_up = None
+        self._scale_out = None
+
+    def volume_runs(self):
+        if self._volume_runs is None:
+            self._volume_runs = experiments.run_volume_comparison()
+        return self._volume_runs
+
+    def ocm_runs(self):
+        if self._ocm_runs is None:
+            self._ocm_runs = experiments.run_ocm_experiment()
+        return self._ocm_runs
+
+    def scale_up(self):
+        if self._scale_up is None:
+            self._scale_up = experiments.run_scale_up()
+        return self._scale_up
+
+    def scale_out(self):
+        if self._scale_out is None:
+            self._scale_out = experiments.run_scale_out()
+        return self._scale_out
+
+
+@pytest.fixture(scope="session")
+def suite() -> _Suite:
+    return _Suite()

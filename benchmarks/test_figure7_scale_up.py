@@ -1,0 +1,42 @@
+"""Figure 7: scale-up behaviour (16 -> 48 -> 96 vCPUs).
+
+Paper: almost-linear scalability on a log-log plot, with the gains from
+48 to 96 CPUs slightly smaller than from 16 to 48 — the NIC saturates
+around 9 Gbit/s, which is most visible during the load phase.
+"""
+
+from bench_utils import emit
+
+from repro.bench.report import format_table
+
+
+def test_figure7_scale_up(benchmark, suite):
+    points = benchmark.pedantic(suite.scale_up, rounds=1, iterations=1)
+    rows = [
+        [p["instance"], p["cpus"], p["load"], p["queries"], p["total"]]
+        for p in points
+    ]
+    emit(
+        "figure7_scale_up",
+        format_table(["instance", "cpus", "load", "queries", "total"], rows),
+    )
+    by_cpus = {p["cpus"]: p for p in points}
+    # More CPUs never hurt, and the full benchmark gets faster throughout.
+    assert by_cpus[16]["total"] > by_cpus[48]["total"] > by_cpus[96]["total"]
+    # Query speedups: meaningful but sublinear (Amdahl + storage).
+    q16, q48, q96 = (by_cpus[c]["queries"] for c in (16, 48, 96))
+    first_gain = q16 / q48
+    second_gain = q48 / q96
+    assert first_gain > 1.3
+    assert second_gain > 1.05
+    # The 48->96 gain is smaller than the 16->48 gain (flattening).
+    assert second_gain < first_gain
+    # Load flattens even harder: the NIC is the load bottleneck.
+    load_second_gain = by_cpus[48]["load"] / by_cpus[96]["load"]
+    assert load_second_gain < first_gain
+    benchmark.extra_info.update(
+        {
+            "query_speedup_16_to_48": round(first_gain, 2),
+            "query_speedup_48_to_96": round(second_gain, 2),
+        }
+    )

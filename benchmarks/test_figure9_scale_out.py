@@ -1,0 +1,35 @@
+"""Figure 9: scale-out behaviour (8 query streams, 2/4/8 secondaries).
+
+Paper: doubling the number of secondary nodes almost halves the total
+time to execute the 8 concurrent query streams, because the combined S3
+throughput grows with the node count.
+"""
+
+from bench_utils import emit
+
+from repro.bench.report import format_table
+
+
+def test_figure9_scale_out(benchmark, suite):
+    points = benchmark.pedantic(suite.scale_out, rounds=1, iterations=1)
+    rows = [
+        [p["nodes"], p["total"],
+         ", ".join(f"{t:.0f}" for t in p["per_node"])]
+        for p in points
+    ]
+    emit(
+        "figure9_scale_out",
+        format_table(["secondaries", "total seconds", "per-node seconds"],
+                     rows),
+    )
+    by_nodes = {p["nodes"]: p["total"] for p in points}
+    assert by_nodes[2] > by_nodes[4] > by_nodes[8]
+    # Doubling nodes almost halves the time (paper: near-perfect).
+    assert by_nodes[2] / by_nodes[4] > 1.6
+    assert by_nodes[4] / by_nodes[8] > 1.5
+    benchmark.extra_info.update(
+        {
+            "speedup_2_to_4": round(by_nodes[2] / by_nodes[4], 2),
+            "speedup_4_to_8": round(by_nodes[4] / by_nodes[8], 2),
+        }
+    )

@@ -1,0 +1,42 @@
+"""Table 2: TPC-H load and query times on S3 vs EBS vs EFS.
+
+Paper (SF 1000, m5ad.24xlarge): load 2657/4294/12677 s; query geomean
+23.2/52.1/119.3 s.  The reproduction must match the *shape*: S3 fastest
+for both load and the query geomean, EFS slowest, with EFS several times
+slower than S3.
+"""
+
+from bench_utils import emit
+
+from repro.bench.experiments import table2_rows
+from repro.bench.report import format_table
+
+
+def test_table2_load_and_query_times(benchmark, suite):
+    runs = benchmark.pedantic(suite.volume_runs, rounds=1, iterations=1)
+    headers = (
+        ["Storage Volume", "Load"]
+        + [f"Q{q}" for q in range(1, 23)]
+        + ["geomean"]
+    )
+    rows = table2_rows(runs)
+    emit("table2_load_query_times", format_table(headers, rows))
+
+    s3, ebs, efs = runs["s3"], runs["ebs"], runs["efs"]
+    # Load ordering and rough ratios (paper: 2657 / 4294 / 12677).
+    assert s3.load_seconds < ebs.load_seconds < efs.load_seconds
+    assert efs.load_seconds / s3.load_seconds > 2.0
+    # Query geomean ordering (paper: 23.2 / 52.1 / 119.3).
+    assert s3.geomean_seconds < ebs.geomean_seconds < efs.geomean_seconds
+    assert ebs.geomean_seconds / s3.geomean_seconds > 1.5
+    assert efs.geomean_seconds / s3.geomean_seconds > 3.0
+    benchmark.extra_info.update(
+        {
+            "load_s3": round(s3.load_seconds, 1),
+            "load_ebs": round(ebs.load_seconds, 1),
+            "load_efs": round(efs.load_seconds, 1),
+            "geomean_s3": round(s3.geomean_seconds, 2),
+            "geomean_ebs": round(ebs.geomean_seconds, 2),
+            "geomean_efs": round(efs.geomean_seconds, 2),
+        }
+    )

@@ -1,0 +1,33 @@
+"""Table 3: compute cost of the load and of one sequential query pass.
+
+Paper: load 15.18/5.04/15.39 USD, queries 2.35/3.88/8.53 USD for
+S3/EBS/EFS.  Shape: S3's load costs more than EBS's (PUT request charges)
+but its query pass is the cheapest because it finishes fastest; EFS is the
+most expensive for queries.
+"""
+
+from bench_utils import emit
+
+from repro.bench.experiments import table3_rows
+from repro.bench.report import format_table
+
+
+def test_table3_compute_costs(benchmark, suite):
+    runs = benchmark.pedantic(suite.volume_runs, rounds=1, iterations=1)
+    rows = table3_rows(runs)
+    emit(
+        "table3_compute_cost",
+        format_table(["Volume", "Load Cost (USD)", "Query Cost (USD)"],
+                     [[r[0], round(r[1], 2), round(r[2], 2)] for r in rows]),
+    )
+    costs = {r[0]: (r[1], r[2]) for r in rows}
+    # S3 loads carry PUT charges: load cost above EBS's despite the faster
+    # load (paper: 15.18 vs 5.04).
+    assert costs["AWS S3"][0] > costs["AWS EBS"][0]
+    # The query pass is cheapest on S3 and most expensive on EFS
+    # (paper: 2.35 / 3.88 / 8.53).
+    assert costs["AWS S3"][1] < costs["AWS EBS"][1] < costs["AWS EFS"][1]
+    benchmark.extra_info.update(
+        {name: {"load": round(lc, 2), "query": round(qc, 2)}
+         for name, (lc, qc) in costs.items()}
+    )

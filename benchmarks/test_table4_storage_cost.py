@@ -1,0 +1,29 @@
+"""Table 4: monthly cost of data at rest.
+
+Paper: 12.05 / 51.80 / 155.40 USD per month on S3 / EBS / EFS — the
+order-of-magnitude storage saving that motivates the whole project.
+"""
+
+from bench_utils import emit
+
+from repro.bench.experiments import table4_rows
+from repro.bench.report import format_table
+
+
+def test_table4_storage_cost(benchmark, suite):
+    runs = benchmark.pedantic(suite.volume_runs, rounds=1, iterations=1)
+    rows = table4_rows(runs)
+    emit(
+        "table4_storage_cost",
+        format_table(["Volume", "Monthly Storage Cost (USD)"],
+                     [[r[0], round(r[1], 2)] for r in rows]),
+    )
+    costs = {r[0]: r[1] for r in rows}
+    assert costs["AWS S3"] < costs["AWS EBS"] < costs["AWS EFS"]
+    # The order-of-magnitude claim: EFS/S3 ratio is ~13x in the paper.
+    assert costs["AWS EFS"] / costs["AWS S3"] > 10.0
+    # EBS/EFS ratios are fixed by AWS list prices (0.10 vs 0.30 per GiB).
+    assert abs(costs["AWS EFS"] / costs["AWS EBS"] - 3.0) < 0.2
+    benchmark.extra_info.update(
+        {name: round(cost, 2) for name, cost in costs.items()}
+    )

@@ -1,0 +1,32 @@
+"""Table 5: OCM utilization during the TPC-H query pass.
+
+Paper (m5ad.24xlarge): 962,573 misses (25.5%), 2,807,368 hits (74.5%),
+962,589 evictions.  Shape: a clear hit-rate majority (~2/3-4/5) with
+eviction counts of the same order as the misses.
+"""
+
+from bench_utils import emit
+
+from repro.bench.experiments import table5_rows
+from repro.bench.report import format_table
+
+
+def test_table5_ocm_utilization(benchmark, suite):
+    runs = benchmark.pedantic(suite.ocm_runs, rounds=1, iterations=1)
+    run = runs["m5ad.24xlarge/ocm"]
+    rows = table5_rows(run)
+    emit("table5_ocm_stats",
+         format_table(["", "Objects", "Percentage"], rows))
+    stats = run.ocm_stats()
+    hits, misses = stats["hits"], stats["misses"]
+    hit_rate = hits / (hits + misses)
+    # Paper: 74.5% hits, 25.5% misses.
+    assert 0.55 < hit_rate < 0.95
+    # Evictions of the same order of magnitude as misses.
+    assert stats["evictions"] > 0
+    assert stats["evictions"] < 5 * misses
+    benchmark.extra_info.update(
+        {"hit_rate": round(hit_rate, 3),
+         "hits": int(hits), "misses": int(misses),
+         "evictions": int(stats["evictions"])}
+    )

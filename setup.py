@@ -1,0 +1,9 @@
+"""Setup shim for environments whose setuptools lacks bdist_wheel.
+
+All real metadata lives in pyproject.toml; this file only enables the
+legacy ``pip install -e .`` editable path.
+"""
+
+from setuptools import setup
+
+setup()

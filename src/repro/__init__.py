@@ -1,0 +1,26 @@
+"""Reproduction of "Bringing Cloud-Native Storage to SAP IQ" (SIGMOD 2021).
+
+The package implements, from scratch and in pure Python, the storage
+architecture that the paper retrofits onto SAP IQ:
+
+- a columnar storage engine with a buffer manager, a blockmap tree, identity
+  objects and MVCC with table-level versioning (``repro.storage``,
+  ``repro.core``, ``repro.columnar``),
+- cloud *dbspaces* over eventually consistent object stores with a
+  never-write-an-object-twice policy (``repro.objectstore``),
+- the Object Key Generator with range allocation and crash recovery
+  (``repro.core.keygen``),
+- RF/RB-bitmap based garbage collection (``repro.core.txn``),
+- the Object Cache Manager, a local-SSD second-level cache
+  (``repro.core.ocm``),
+- retention-based snapshots and point-in-time restore
+  (``repro.core.snapshot``), and
+- a multiplex of coordinator/writer/reader nodes (``repro.core.multiplex``).
+
+Everything the paper ran on AWS (S3, EBS, EFS, EC2 instance SSDs and NICs) is
+substituted with deterministic simulators driven by a virtual clock, so every
+experiment in the paper's evaluation section can be regenerated on a laptop;
+see DESIGN.md for the substitution argument and the per-experiment index.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,23 @@
+"""Benchmark harness: scaled configurations and experiment drivers.
+
+Each module under :mod:`repro.bench` drives one of the paper's tables or
+figures; ``benchmarks/`` contains thin pytest-benchmark wrappers around
+them.  See DESIGN.md's per-experiment index.
+"""
+
+from repro.bench.configs import (
+    BENCH_SCALE_FACTOR,
+    bench_config,
+    make_engine,
+    load_engine,
+)
+from repro.bench.report import format_table, geomean
+
+__all__ = [
+    "BENCH_SCALE_FACTOR",
+    "bench_config",
+    "make_engine",
+    "load_engine",
+    "format_table",
+    "geomean",
+]

@@ -1,0 +1,23 @@
+"""Block storage substrate: block devices, freelist, volume profiles.
+
+Conventional (non-cloud) dbspaces live on simulated shared block devices.
+The profiles reproduce the throttling behaviour that shapes the paper's
+Tables 2-4: EBS gp2 IOPS scale with volume size (3 IOPS/GiB, capped), EFS
+throughput scales with stored bytes, and local NVMe SSDs have very low
+latency but finite shared bandwidth (the OCM's Figure 6 anomaly).
+"""
+
+from repro.blockstore.freelist import Freelist, FreelistError
+from repro.blockstore.device import BlockDevice, BlockDeviceError
+from repro.blockstore.profiles import ebs_gp2, efs_standard, nvme_ssd, ram_disk
+
+__all__ = [
+    "Freelist",
+    "FreelistError",
+    "BlockDevice",
+    "BlockDeviceError",
+    "ebs_gp2",
+    "efs_standard",
+    "nvme_ssd",
+    "ram_disk",
+]

@@ -1,0 +1,157 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``quickstart`` — tiny end-to-end demo (load, query, storage stats),
+- ``tpch`` — load TPC-H at a scale factor and run benchmark queries,
+- ``compare`` — the S3 vs EBS vs EFS comparison (Tables 2/4 in miniature),
+- ``table1`` — print the paper's Table 1 recovery walkthrough.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.bench.configs import load_engine
+from repro.bench.report import format_table, geomean
+from repro.costs.pricing import DEFAULT_PRICES
+from repro.tpch import power_run
+
+_VOLUME_PRICE_KEY = {"s3": "s3", "ebs": "ebs-gp2", "efs": "efs"}
+
+
+def _cold(db) -> None:
+    db.buffer.invalidate_all()
+    if db.ocm is not None:
+        db.ocm.drain_all()
+        db.ocm.invalidate_all()
+
+
+def cmd_quickstart(args: argparse.Namespace) -> int:
+    from repro.columnar import (
+        ColumnSchema,
+        ColumnStore,
+        QueryContext,
+        TableSchema,
+    )
+    from repro.columnar.exec import group_by, rows
+    from repro.engine import Database, DatabaseConfig
+
+    db = Database(DatabaseConfig(buffer_capacity_bytes=8 << 20,
+                                 page_size=16 * 1024))
+    store = ColumnStore(db)
+    store.create_table(TableSchema(
+        "demo", (ColumnSchema("k", "int"), ColumnSchema("v", "float")),
+        rows_per_page=256,
+    ))
+    store.load("demo", [(i, float(i % 10)) for i in range(5000)])
+    with QueryContext(db) as ctx:
+        rel = ctx.read("demo", ["v"])
+        agg = group_by(ctx, rel, [], {"total": ("sum", "v"),
+                                      "n": ("count", None)})
+    print(f"loaded 5000 rows in {db.clock.now():.2f} virtual seconds")
+    print(f"sum(v) = {agg['total'][0]:.0f} over {agg['n'][0]} rows")
+    print(f"objects on the store: {db.object_store.object_count()} "
+          f"({db.user_data_bytes()} bytes at rest)")
+    return 0
+
+
+def cmd_tpch(args: argparse.Namespace) -> int:
+    numbers = (
+        [int(q) for q in args.queries.split(",")] if args.queries else None
+    )
+    db, store, load_seconds = load_engine(
+        args.instance, args.volume, scale_factor=args.scale_factor
+    )
+    _cold(db)
+    times = power_run(db, args.scale_factor, query_numbers=numbers)
+    rows = [[f"Q{q}", times[q]] for q in sorted(times)]
+    rows.append(["geomean", geomean(times.values())])
+    print(f"load: {load_seconds:.1f} virtual seconds "
+          f"({args.volume}, SF {args.scale_factor}, {args.instance})")
+    print(format_table(["query", "seconds"], rows))
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    rows = []
+    for volume in ("s3", "ebs", "efs"):
+        db, store, load_seconds = load_engine(
+            args.instance, volume, scale_factor=args.scale_factor
+        )
+        _cold(db)
+        times = power_run(db, args.scale_factor, query_numbers=[1, 3, 6])
+        monthly = DEFAULT_PRICES.storage_price(
+            _VOLUME_PRICE_KEY[volume]
+        ).monthly_cost(
+            int(db.user_data_bytes() * (1000 / args.scale_factor))
+        )
+        rows.append([
+            volume.upper(), load_seconds, times[1], times[3], times[6],
+            monthly,
+        ])
+    print(format_table(
+        ["volume", "load (s)", "Q1 (s)", "Q3 (s)", "Q6 (s)",
+         "$/month at SF1000"],
+        rows,
+    ))
+    return 0
+
+
+def cmd_table1(args: argparse.Namespace) -> int:
+    import pathlib
+    benchmarks = pathlib.Path(__file__).resolve().parents[2] / "benchmarks"
+    sys.path.insert(0, str(benchmarks))
+    try:
+        from test_table1_recovery import run_table1_scenario
+
+        from repro.bench.report import format_table as fmt
+
+        events = run_table1_scenario()
+        print(fmt(["Clock", "Event", "Description", "Active Set (W1)"],
+                  events))
+    finally:
+        sys.path.remove(str(benchmarks))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Bringing Cloud-Native Storage to "
+                    "SAP IQ' (SIGMOD 2021)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("quickstart", help="tiny end-to-end demo")
+
+    tpch = sub.add_parser("tpch", help="load TPC-H and run queries")
+    tpch.add_argument("--scale-factor", type=float, default=0.005)
+    tpch.add_argument("--volume", choices=("s3", "ebs", "efs"), default="s3")
+    tpch.add_argument("--instance", default="m5ad.24xlarge")
+    tpch.add_argument("--queries", default="",
+                      help="comma-separated query numbers (default: all 22)")
+
+    compare = sub.add_parser("compare", help="S3 vs EBS vs EFS comparison")
+    compare.add_argument("--scale-factor", type=float, default=0.005)
+    compare.add_argument("--instance", default="m5ad.24xlarge")
+
+    sub.add_parser("table1", help="print the Table 1 recovery walkthrough")
+    return parser
+
+
+def main(argv: "Optional[List[str]]" = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "quickstart": cmd_quickstart,
+        "tpch": cmd_tpch,
+        "compare": cmd_compare,
+        "table1": cmd_table1,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,84 @@
+"""The High-Group (HG) index: sorted values mapped to row-id range bitmaps.
+
+SAP IQ's HG index combines B+-tree navigation with the compression of
+bitmaps.  We keep the same shape: a sorted array of distinct values (the
+tree's leaf level) each pointing at a range-compressed set of global row
+ids.  Point and range lookups return row-id lists the scan layer converts
+into page sets.
+"""
+
+from __future__ import annotations
+
+import bisect
+import json
+from typing import Dict, Iterable, List, Optional, Tuple
+
+
+class HgIndex:
+    """value -> range-compressed row ids, with sorted-value navigation."""
+
+    def __init__(self) -> None:
+        self._ranges: Dict[object, List[Tuple[int, int]]] = {}
+        self._sorted_values: "Optional[List[object]]" = None
+
+    def add(self, value: object, row_id: int) -> None:
+        ranges = self._ranges.setdefault(value, [])
+        if ranges and ranges[-1][1] + 1 == row_id:
+            ranges[-1] = (ranges[-1][0], row_id)
+        else:
+            ranges.append((row_id, row_id))
+        self._sorted_values = None
+
+    def add_rows(self, values: "Iterable[object]", first_row_id: int) -> None:
+        """Bulk append of consecutive rows starting at ``first_row_id``."""
+        for offset, value in enumerate(values):
+            self.add(value, first_row_id + offset)
+
+    def _values(self) -> "List[object]":
+        if self._sorted_values is None:
+            self._sorted_values = sorted(self._ranges)
+        return self._sorted_values
+
+    @property
+    def distinct_count(self) -> int:
+        return len(self._ranges)
+
+    def lookup(self, value: object) -> "List[int]":
+        """Row ids with exactly ``value``."""
+        out: List[int] = []
+        for lo, hi in self._ranges.get(value, ()):
+            out.extend(range(lo, hi + 1))
+        return out
+
+    def lookup_range(self, lo: "Optional[object]",
+                     hi: "Optional[object]") -> "List[int]":
+        """Row ids whose value falls in ``[lo, hi]`` (None = open)."""
+        values = self._values()
+        start = 0 if lo is None else bisect.bisect_left(values, lo)
+        end = len(values) if hi is None else bisect.bisect_right(values, hi)
+        out: List[int] = []
+        for value in values[start:end]:
+            for range_lo, range_hi in self._ranges[value]:
+                out.extend(range(range_lo, range_hi + 1))
+        out.sort()
+        return out
+
+    def row_ranges(self, value: object) -> "List[Tuple[int, int]]":
+        return list(self._ranges.get(value, ()))
+
+    # ------------------------------------------------------------------ #
+    # persistence
+    # ------------------------------------------------------------------ #
+
+    def to_bytes(self) -> bytes:
+        entries = [
+            [value, ranges] for value, ranges in sorted(self._ranges.items())
+        ]
+        return json.dumps(entries).encode("utf-8")
+
+    @classmethod
+    def from_bytes(cls, payload: bytes) -> "HgIndex":
+        index = cls()
+        for value, ranges in json.loads(payload.decode("utf-8")):
+            index._ranges[value] = [(int(lo), int(hi)) for lo, hi in ranges]
+        return index

@@ -1,0 +1,339 @@
+"""Multiplex clusters: coordinator, writer and reader nodes (Section 2).
+
+A *multiplex* is SAP IQ's scale-out configuration: one coordinator plus
+secondary nodes (writers can modify data, readers cannot) over shared
+storage.  In this reproduction:
+
+- the coordinator is a full :class:`~repro.engine.Database` and remains the
+  authority for the catalog, the transaction log, the Object Key Generator
+  and the commit chain;
+- each secondary node has its *own* buffer manager, its own OCM over its
+  own (ephemeral) local SSDs, its own NIC pipe into the *shared* object
+  store, and a node-local key cache that refills via RPC to the
+  coordinator;
+- RPCs are simulated: each call charges a round-trip latency to the shared
+  virtual clock and bumps a counter;
+- crashing a writer abandons its active transactions and wipes its caches;
+  on restart the node RPCs the coordinator, which polls the node's active
+  key set against the cloud dbspaces and garbage-collects orphans — the
+  Table 1 walkthrough.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.buffer import BufferManager
+from repro.core.keygen import KeyRange, NodeKeyCache
+from repro.core.ocm import ObjectCacheManager, OcmConfig
+from repro.core.txn import Transaction, TransactionError
+from repro.engine import Database, DatabaseConfig, NodeRuntime, SYSTEM_DBSPACE, USER_DBSPACE
+from repro.blockstore.profiles import nvme_ssd
+from repro.objectstore.client import RetryingObjectClient
+from repro.sim.cpu import CpuModel
+from repro.sim.devices import raid0, scaled_profile
+from repro.sim.metrics import MetricsRegistry
+from repro.sim.pipes import Pipe
+from repro.storage.dbspace import CloudDbspace, DirectObjectIO
+
+GBIT = 1_000_000_000 / 8
+
+
+class MultiplexError(Exception):
+    """Invalid cluster operations (writes on readers, unknown nodes...)."""
+
+
+@dataclass(frozen=True)
+class MultiplexConfig:
+    """Cluster shape and per-node resources."""
+
+    writers: int = 1
+    readers: int = 0
+    rpc_latency: float = 0.0005
+    secondary_buffer_bytes: int = 64 * 1024 * 1024
+    secondary_ocm_bytes: int = 256 * 1024 * 1024
+    secondary_ocm_ssd_count: int = 2
+    secondary_nic_gbits: float = 10.0
+    secondary_vcpus: int = 16
+    ocm_enabled: bool = True
+
+
+class Rpc:
+    """Simulated RPC channel: charges latency, counts calls."""
+
+    def __init__(self, clock, latency: float,
+                 metrics: "Optional[MetricsRegistry]" = None) -> None:
+        self._clock = clock
+        self.latency = latency
+        self.metrics = metrics or MetricsRegistry()
+
+    def call(self, name: str, fn, *args, **kwargs):
+        """Round-trip: request latency, server work, response latency."""
+        self._clock.advance(self.latency)
+        result = fn(*args, **kwargs)
+        self._clock.advance(self.latency)
+        self.metrics.counter("rpc_calls").increment()
+        self.metrics.counter(f"rpc:{name}").increment()
+        return result
+
+
+class SecondaryNode:
+    """A writer or reader node in the multiplex."""
+
+    def __init__(
+        self,
+        node_id: str,
+        kind: str,
+        multiplex: "Multiplex",
+        config: MultiplexConfig,
+    ) -> None:
+        if kind not in ("writer", "reader"):
+            raise MultiplexError(f"unknown node kind {kind!r}")
+        self.node_id = node_id
+        self.kind = kind
+        self.multiplex = multiplex
+        self._config = config
+        coordinator = multiplex.coordinator
+        self.clock = coordinator.clock
+        self.rpc = Rpc(self.clock, config.rpc_latency)
+        rate_scale = coordinator.config.rate_scale
+        self.nic = Pipe(config.secondary_nic_gbits * GBIT * rate_scale,
+                        name=f"{node_id}/nic")
+        self.cpu = CpuModel(
+            self.clock,
+            config.secondary_vcpus,
+            coordinator.config.cpu_ops_per_second * rate_scale,
+        )
+        self.crashed = False
+
+        # Node-local key cache; refills RPC into the coordinator.
+        self.key_cache = NodeKeyCache(
+            node_id, self._allocate_range_rpc, self.clock.now
+        )
+        # Own client into the *shared* store, through the node's own NIC.
+        if coordinator.object_store is None:
+            raise MultiplexError("multiplex requires an S3 user dbspace")
+        self.client = RetryingObjectClient(
+            coordinator.object_store,
+            policy=coordinator.config.retry,
+            parallel_window=coordinator.config.parallel_window,
+            bandwidth=self.nic,
+        )
+        self.ocm: "Optional[ObjectCacheManager]" = None
+        if config.ocm_enabled:
+            ssd = scaled_profile(
+                raid0(
+                    [nvme_ssd(f"{node_id}-nvme{i}")
+                     for i in range(config.secondary_ocm_ssd_count)],
+                    name=f"{node_id}-ocm",
+                ),
+                rate_scale,
+                coordinator.config.op_scale,
+            )
+            self.ocm = ObjectCacheManager(
+                self.client,
+                ssd,
+                OcmConfig(capacity_bytes=config.secondary_ocm_bytes),
+                rng=coordinator.rng.substream(f"ocm/{node_id}"),
+            )
+            io = self.ocm
+        else:
+            io = DirectObjectIO(self.client)
+        self.user_dbspace = CloudDbspace(
+            USER_DBSPACE, io, self.key_cache,
+            prefix_bits=coordinator.config.prefix_bits,
+        )
+        self.buffer = BufferManager(
+            config.secondary_buffer_bytes, coordinator.page_config
+        )
+        self.runtime = NodeRuntime(
+            node_id,
+            self.buffer,
+            {
+                SYSTEM_DBSPACE: coordinator.system_dbspace,
+                USER_DBSPACE: self.user_dbspace,
+            },
+        )
+
+    # ------------------------------------------------------------------ #
+    # coordinator RPCs
+    # ------------------------------------------------------------------ #
+
+    def _allocate_range_rpc(self, node_id: str, count: int) -> KeyRange:
+        return self.rpc.call(
+            "allocate_range",
+            self.multiplex.coordinator.keygen.allocate_range,
+            node_id,
+            count,
+        )
+
+    # ------------------------------------------------------------------ #
+    # transactions
+    # ------------------------------------------------------------------ #
+
+    def _check_usable(self) -> None:
+        if self.crashed:
+            raise MultiplexError(f"node {self.node_id!r} is crashed")
+
+    def begin(self) -> Transaction:
+        self._check_usable()
+        return self.rpc.call(
+            "begin", self.multiplex.coordinator.txn_manager.begin, self.runtime
+        )
+
+    def commit(self, txn: Transaction) -> None:
+        self._check_usable()
+        self.rpc.call(
+            "commit", self.multiplex.coordinator.txn_manager.commit, txn
+        )
+
+    def rollback(self, txn: Transaction) -> None:
+        self._check_usable()
+        # Rollback is local to the node: the coordinator is deliberately
+        # not told which keys died (Section 3.3's optimization); only the
+        # log append happens centrally, which we fold into the same call.
+        self.multiplex.coordinator.txn_manager.rollback(txn)
+
+    def open_for_read(self, txn: Transaction, name: str):
+        self._check_usable()
+        return self.multiplex.coordinator.txn_manager.open_for_read(txn, name)
+
+    def open_for_write(self, txn: Transaction, name: str):
+        self._check_usable()
+        if self.kind != "writer":
+            raise MultiplexError(
+                f"node {self.node_id!r} is a reader and cannot modify data"
+            )
+        return self.rpc.call(
+            "open_for_write",
+            self.multiplex.coordinator.txn_manager.open_for_write,
+            txn,
+            name,
+        )
+
+    def write_page(self, txn: Transaction, name: str, page_no: int,
+                   data: bytes) -> None:
+        handle = self.open_for_write(txn, name)
+        self.buffer.write_page(handle, page_no, data)
+
+    def read_page(self, txn: Transaction, name: str, page_no: int) -> bytes:
+        handle = self.open_for_read(txn, name)
+        return self.buffer.get_page(handle, page_no)
+
+    # ------------------------------------------------------------------ #
+    # crash / restart
+    # ------------------------------------------------------------------ #
+
+    def crash(self) -> None:
+        """The node dies: active transactions abort without cleanup."""
+        manager = self.multiplex.coordinator.txn_manager
+        for txn in manager.active_transactions():
+            if txn.node_id == self.node_id:
+                manager.abort_in_crash(txn)
+        self.runtime.invalidate_caches()
+        if self.ocm is not None:
+            self.ocm.invalidate_all()
+        self.key_cache.drop_cached_range()
+        self.crashed = True
+
+    def restart(self) -> int:
+        """Restart the node: coordinator GCs its outstanding allocations.
+
+        Returns the number of orphaned objects reclaimed (Table 1, 150).
+        """
+        if not self.crashed:
+            raise MultiplexError(f"node {self.node_id!r} is not crashed")
+        reclaimed = self.rpc.call(
+            "restart_gc", self.multiplex.restart_gc, self.node_id
+        )
+        self.crashed = False
+        return reclaimed
+
+
+class Multiplex:
+    """A coordinator plus secondary nodes over shared storage."""
+
+    def __init__(
+        self,
+        coordinator_config: "Optional[DatabaseConfig]" = None,
+        config: "Optional[MultiplexConfig]" = None,
+    ) -> None:
+        self.config = config or MultiplexConfig()
+        base = coordinator_config or DatabaseConfig()
+        if base.user_volume != "s3":
+            raise MultiplexError(
+                "the multiplex reproduction requires cloud (s3) user dbspaces"
+            )
+        self.coordinator = Database(base)
+        self.nodes: Dict[str, SecondaryNode] = {}
+        for i in range(self.config.writers):
+            node_id = f"writer-{i + 1}"
+            self.nodes[node_id] = SecondaryNode(
+                node_id, "writer", self, self.config
+            )
+        for i in range(self.config.readers):
+            node_id = f"reader-{i + 1}"
+            self.nodes[node_id] = SecondaryNode(
+                node_id, "reader", self, self.config
+            )
+
+    @property
+    def clock(self):
+        return self.coordinator.clock
+
+    def node(self, node_id: str) -> SecondaryNode:
+        try:
+            return self.nodes[node_id]
+        except KeyError:
+            raise MultiplexError(f"no node named {node_id!r}") from None
+
+    def writers(self) -> "List[SecondaryNode]":
+        return [n for n in self.nodes.values() if n.kind == "writer"]
+
+    def readers(self) -> "List[SecondaryNode]":
+        return [n for n in self.nodes.values() if n.kind == "reader"]
+
+    def secondaries(self) -> "List[SecondaryNode]":
+        return list(self.nodes.values())
+
+    # ------------------------------------------------------------------ #
+    # coordinator-side services
+    # ------------------------------------------------------------------ #
+
+    def restart_gc(self, node_id: str) -> int:
+        """GC a restarting node's outstanding key allocations (Table 1).
+
+        Every key in the node's active set is polled against the cloud
+        dbspaces: existing objects are deleted (they belonged to aborted
+        transactions or unconsumed allocations); missing ones are no-ops —
+        including keys already reclaimed by local rollbacks, which the
+        coordinator was deliberately never told about.
+        """
+        active = self.coordinator.keygen.clear_active_set(node_id)
+        user = self.coordinator.user_dbspace
+        reclaimed = 0
+        if isinstance(user, CloudDbspace):
+            for lo, hi in active:
+                for key in range(lo, hi + 1):
+                    if user.poll_and_free(key):
+                        reclaimed += 1
+        return reclaimed
+
+    def coordinator_crash_and_recover(self) -> None:
+        """Crash and recover the coordinator (Table 1, clocks 110-120).
+
+        Secondary nodes keep their cached ranges and in-flight transactions
+        and continue after recovery; the active sets are reconstructed from
+        the log, and surviving transactions are re-adopted by the recovered
+        transaction manager.
+        """
+        survivors = [
+            txn
+            for txn in self.coordinator.txn_manager.active_transactions()
+            if txn.node_id != self.coordinator.config.node_id
+        ]
+        self.coordinator.crash()
+        self.coordinator.restart()
+        for txn in survivors:
+            self.coordinator.txn_manager.adopt(txn)

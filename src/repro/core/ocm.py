@@ -1,0 +1,426 @@
+"""The Object Cache Manager (OCM, Section 4).
+
+The OCM is a node-local, disk-based extension of the buffer manager sitting
+between it and the object store:
+
+- **read-through**: a miss fetches from the object store, returns the data
+  to the caller and *asynchronously* caches it on the local SSD;
+- **write-back** (churn phase): a page write completes at local-SSD latency
+  while the upload to the object store proceeds in the background — but the
+  page joins the LRU list only after its upload succeeds, so pages of
+  failed/rolled-back transactions never pollute the cache;
+- **write-through** (commit phase): the page is synchronously uploaded and
+  asynchronously cached;
+- **FlushForCommit**: a committing transaction's queued background uploads
+  are promoted ahead of other transactions' and drained write-through;
+- a single **LRU** list orders read and write traffic together.
+
+Asynchronous work is modelled by charging the SSD/NIC pipes at enqueue time
+without advancing the shared clock; because the SSD's bandwidth pipe is
+FIFO and shared between reads and writes, a burst of asynchronous cache
+fills delays subsequent cache-hit reads — reproducing the Q3/Q4 anomaly the
+paper reports in Figure 6.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.objectstore.client import RetryingObjectClient
+from repro.sim.devices import DeviceProfile, QueueingDevice
+from repro.sim.metrics import MetricsRegistry
+from repro.sim.rng import DeterministicRng
+from repro.storage.dbspace import ObjectIO
+
+
+@dataclass(frozen=True)
+class OcmConfig:
+    """OCM sizing and behaviour knobs."""
+
+    capacity_bytes: int
+    upload_window: int = 16
+    read_window: int = 32
+    # Ablation knob: insert write-back pages into the LRU immediately
+    # instead of after upload success (the paper's rule is False).
+    lru_insert_before_upload: bool = False
+    # The paper's proposed future work (Section 6's Figure 6 analysis):
+    # monitor SSD vs object-store read latency and re-route cache hits to
+    # the object store while asynchronous fills saturate the SSD.
+    adaptive_read_routing: bool = False
+
+
+class _CacheEntry:
+    __slots__ = ("name", "data", "uploaded", "in_lru")
+
+    def __init__(self, name: str, data: bytes, uploaded: bool, in_lru: bool) -> None:
+        self.name = name
+        self.data = data
+        self.uploaded = uploaded
+        self.in_lru = in_lru
+
+    @property
+    def size(self) -> int:
+        return len(self.data)
+
+
+class _PendingUpload:
+    __slots__ = ("name", "data", "txn_id", "enqueue_time")
+
+    def __init__(self, name: str, data: bytes, txn_id: "Optional[int]",
+                 enqueue_time: float) -> None:
+        self.name = name
+        self.data = data
+        self.txn_id = txn_id
+        self.enqueue_time = enqueue_time
+
+
+class ObjectCacheManager(ObjectIO):
+    """Node-local SSD read/write cache in front of an object store."""
+
+    def __init__(
+        self,
+        client: RetryingObjectClient,
+        device_profile: DeviceProfile,
+        config: OcmConfig,
+        rng: "Optional[DeterministicRng]" = None,
+    ) -> None:
+        if config.capacity_bytes <= 0:
+            raise ValueError("OCM capacity must be positive")
+        self.client = client
+        self.config = config
+        self.clock = client.clock
+        self.device = QueueingDevice(
+            device_profile,
+            self.clock,
+            rng or DeterministicRng(0, "ocm-device"),
+        )
+        self.metrics = MetricsRegistry()
+        self._entries: "OrderedDict[str, _CacheEntry]" = OrderedDict()
+        self._used = 0
+        self._pending: "Dict[int, List[_PendingUpload]]" = {}
+        self._anonymous_pending: "List[_PendingUpload]" = []
+        self._upload_inflight: "List[float]" = []
+
+    # ------------------------------------------------------------------ #
+    # cache bookkeeping
+    # ------------------------------------------------------------------ #
+
+    @property
+    def used_bytes(self) -> int:
+        return self._used
+
+    def cached(self, name: str) -> bool:
+        return name in self._entries
+
+    def entry_count(self) -> int:
+        return len(self._entries)
+
+    def pending_upload_count(self) -> int:
+        return sum(len(jobs) for jobs in self._pending.values()) + len(
+            self._anonymous_pending
+        )
+
+    def _insert(self, name: str, data: bytes, uploaded: bool, in_lru: bool) -> None:
+        old = self._entries.pop(name, None)
+        if old is not None:
+            self._used -= old.size
+        entry = _CacheEntry(name, bytes(data), uploaded, in_lru)
+        self._entries[name] = entry
+        self._used += entry.size
+        self._evict_if_needed()
+
+    def _remove(self, name: str) -> "Optional[_CacheEntry]":
+        entry = self._entries.pop(name, None)
+        if entry is not None:
+            self._used -= entry.size
+        return entry
+
+    def _touch(self, name: str) -> None:
+        self._entries.move_to_end(name)
+
+    def _evict_if_needed(self) -> None:
+        """LRU eviction; only uploaded, LRU-listed entries are victims.
+
+        Under the ``lru_insert_before_upload`` ablation, not-yet-uploaded
+        LRU residents are also eligible, but evicting one forces its
+        upload synchronously first (the data must not be lost) — the cost
+        the paper's insert-after-upload rule avoids paying for pages of
+        doomed transactions.
+        """
+        if self._used <= self.config.capacity_bytes:
+            return
+        victims: List[str] = []
+        projected = self._used
+        for name, entry in self._entries.items():
+            if projected <= self.config.capacity_bytes:
+                break
+            if entry.in_lru and entry.uploaded:
+                victims.append(name)
+                projected -= entry.size
+            elif entry.in_lru and self.config.lru_insert_before_upload:
+                self._force_upload(name)
+                victims.append(name)
+                projected -= entry.size
+        for name in victims:
+            self._remove(name)
+            self.metrics.counter("evictions").increment()
+
+    def _force_upload(self, name: str) -> None:
+        """Synchronously upload a pending write-back entry (ablation path)."""
+        for jobs in list(self._pending.values()) + [self._anonymous_pending]:
+            for job in jobs:
+                if job.name == name:
+                    done = self._schedule_upload(job)
+                    self.clock.advance_to(max(self.clock.now(), done))
+                    jobs.remove(job)
+                    entry = self._entries.get(name)
+                    if entry is not None:
+                        entry.uploaded = True
+                    self.metrics.counter("forced_uploads").increment()
+                    return
+
+    # ------------------------------------------------------------------ #
+    # reads
+    # ------------------------------------------------------------------ #
+
+    def _ssd_read_estimate(self, nbytes: int, now: float) -> float:
+        """Expected SSD read latency including queued asynchronous work."""
+        return (
+            self.device.backlog(now)
+            + nbytes / self.device.profile.bandwidth
+            + self.device.profile.read_latency
+        )
+
+    def _store_read_estimate(self, nbytes: int) -> float:
+        """Expected object-store read latency for ``nbytes``."""
+        store = self.client.store
+        pipe = self.client.bandwidth
+        rate = pipe.rate if pipe is not None else store.profile.default_bandwidth
+        return store.profile.get_latency + nbytes / rate
+
+    def _should_reroute(self, nbytes: int, now: float) -> bool:
+        if not self.config.adaptive_read_routing:
+            return False
+        return self._ssd_read_estimate(nbytes, now) > self._store_read_estimate(
+            nbytes
+        )
+
+    def get(self, name: str) -> bytes:
+        now = self.clock.now()
+        entry = self._entries.get(name)
+        if entry is not None:
+            if entry.uploaded and self._should_reroute(entry.size, now):
+                # Adaptive routing: the SSD is saturated with asynchronous
+                # fills; serve this hit from the object store instead.
+                data, done = self.client.get_at(name, now)
+                self.clock.advance_to(done)
+                self._touch(name)
+                self.metrics.counter("hits").increment()
+                self.metrics.counter("rerouted_reads").increment()
+                return data
+            # Cache hit: read from the local SSD.  The shared bandwidth
+            # pipe means queued asynchronous fills delay this read.
+            done = self.device.read(entry.size, now)
+            self.clock.advance_to(done)
+            self._touch(name)
+            self.metrics.counter("hits").increment()
+            return entry.data
+        self.metrics.counter("misses").increment()
+        data, done = self.client.get_at(name, now)
+        self.clock.advance_to(done)
+        # Read-through: return to the caller and cache asynchronously.
+        self.device.write(len(data), self.clock.now())
+        self._insert(name, data, uploaded=True, in_lru=True)
+        return data
+
+    def get_many(self, names: "Sequence[str]") -> "Dict[str, bytes]":
+        """Parallel read: SSD hits and object store misses overlap."""
+        t0 = self.clock.now()
+        results: Dict[str, bytes] = {}
+        hit_last = t0
+        misses: List[str] = []
+        rerouted: List[str] = []
+        for name in names:
+            entry = self._entries.get(name)
+            if entry is not None:
+                if entry.uploaded and self._should_reroute(entry.size, t0):
+                    rerouted.append(name)
+                    self._touch(name)
+                    self.metrics.counter("hits").increment()
+                    self.metrics.counter("rerouted_reads").increment()
+                    results[name] = entry.data
+                    continue
+                done = self.device.read(entry.size, t0)
+                hit_last = max(hit_last, done)
+                self._touch(name)
+                self.metrics.counter("hits").increment()
+                results[name] = entry.data
+            else:
+                misses.append(name)
+        if rerouted:
+            # Rerouted hits cost object-store reads (timing only; the data
+            # is already in hand from the cache entries).
+            for name in rerouted:
+                __, done = self.client.get_at(name, t0)
+                hit_last = max(hit_last, done)
+        if misses:
+            self.metrics.counter("misses").increment(len(misses))
+            fetched = self.client.get_many(misses, window=self.config.read_window)
+            fill_time = self.clock.now()
+            for name in misses:
+                data = fetched[name]
+                self.device.write(len(data), fill_time)
+                self._insert(name, data, uploaded=True, in_lru=True)
+                results[name] = data
+        self.clock.advance_to(max(self.clock.now(), hit_last))
+        return results
+
+    # ------------------------------------------------------------------ #
+    # writes
+    # ------------------------------------------------------------------ #
+
+    def put(self, name: str, data: bytes, txn_id: "Optional[int]" = None,
+            commit_mode: bool = False) -> None:
+        if commit_mode:
+            self._put_write_through(name, data)
+        else:
+            self._put_write_back(name, data, txn_id)
+
+    def _put_write_through(self, name: str, data: bytes) -> None:
+        """Synchronous upload, asynchronous local caching."""
+        done = self.client.put_at(name, data, self.clock.now())
+        self.clock.advance_to(done)
+        self.device.write(len(data), self.clock.now())
+        self._insert(name, data, uploaded=True, in_lru=True)
+        self.metrics.counter("write_through").increment()
+
+    def _put_write_back(self, name: str, data: bytes,
+                        txn_id: "Optional[int]") -> None:
+        """Synchronous local write, upload queued in the background."""
+        done = self.device.write(len(data), self.clock.now())
+        self.clock.advance_to(done)
+        in_lru = self.config.lru_insert_before_upload
+        self._insert(name, data, uploaded=False, in_lru=in_lru)
+        job = _PendingUpload(name, bytes(data), txn_id, self.clock.now())
+        if txn_id is None:
+            self._anonymous_pending.append(job)
+        else:
+            self._pending.setdefault(txn_id, []).append(job)
+        self.metrics.counter("write_back").increment()
+
+    def put_many(self, items: "Sequence[Tuple[str, bytes]]",
+                 txn_id: "Optional[int]" = None,
+                 commit_mode: bool = False) -> None:
+        if commit_mode:
+            # Parallel synchronous uploads, asynchronous cache fills.
+            self.client.put_many(items, window=self.config.upload_window)
+            fill_time = self.clock.now()
+            for name, data in items:
+                self.device.write(len(data), fill_time)
+                self._insert(name, data, uploaded=True, in_lru=True)
+                self.metrics.counter("write_through").increment()
+            return
+        for name, data in items:
+            self._put_write_back(name, data, txn_id)
+
+    # ------------------------------------------------------------------ #
+    # FlushForCommit and rollback
+    # ------------------------------------------------------------------ #
+
+    def _schedule_upload(self, job: _PendingUpload) -> float:
+        start = max(job.enqueue_time, self.clock.now())
+        if len(self._upload_inflight) >= self.config.upload_window:
+            start = max(start, heapq.heappop(self._upload_inflight))
+        done = self.client.put_at(job.name, job.data, start)
+        heapq.heappush(self._upload_inflight, done)
+        return done
+
+    def flush_for_commit(self, txn_id: int) -> None:
+        """Promote and drain the transaction's queued uploads (Section 4).
+
+        The committing transaction's jobs jump ahead of other transactions'
+        still-unscheduled background work; the commit waits for them.
+        """
+        jobs = self._pending.pop(txn_id, [])
+        last = self.clock.now()
+        for job in jobs:
+            done = self._schedule_upload(job)
+            last = max(last, done)
+            entry = self._entries.get(job.name)
+            if entry is not None:
+                entry.uploaded = True
+                entry.in_lru = True
+        self.clock.advance_to(last)
+        if jobs:
+            self.metrics.counter("flush_for_commit_jobs").increment(len(jobs))
+        self._evict_if_needed()
+
+    def discard_txn(self, txn_id: int) -> int:
+        """Drop a rolled-back transaction's pending uploads and entries."""
+        jobs = self._pending.pop(txn_id, [])
+        for job in jobs:
+            entry = self._entries.get(job.name)
+            if entry is not None and not entry.uploaded:
+                self._remove(job.name)
+        self.metrics.counter("discarded_uploads").increment(len(jobs))
+        return len(jobs)
+
+    def drain_all(self) -> None:
+        """Flush every pending upload (shutdown path, tests)."""
+        for txn_id in list(self._pending):
+            self.flush_for_commit(txn_id)
+        jobs, self._anonymous_pending = self._anonymous_pending, []
+        last = self.clock.now()
+        for job in jobs:
+            done = self._schedule_upload(job)
+            last = max(last, done)
+            entry = self._entries.get(job.name)
+            if entry is not None:
+                entry.uploaded = True
+                entry.in_lru = True
+        self.clock.advance_to(last)
+
+    # ------------------------------------------------------------------ #
+    # deletes / probes / billing
+    # ------------------------------------------------------------------ #
+
+    def delete(self, name: str) -> None:
+        self._remove(name)
+        self.client.delete(name)
+
+    def delete_many(self, names: "Sequence[str]") -> None:
+        for name in names:
+            self._remove(name)
+        self.client.delete_many(names)
+
+    def exists(self, name: str) -> bool:
+        # GC polling must consult the store, not this node's cache.
+        return self.client.exists(name)
+
+    def stored_bytes(self) -> int:
+        return self.client.store.stored_bytes()
+
+    def invalidate_all(self) -> None:
+        """Drop the whole cache (node crash: instance storage is ephemeral)."""
+        self._entries.clear()
+        self._pending.clear()
+        self._anonymous_pending.clear()
+        self._used = 0
+
+    def stats(self) -> "Dict[str, float]":
+        """Hit/miss/eviction counters (Table 5)."""
+        snapshot = self.metrics.snapshot()
+        snapshot.setdefault("hits", 0.0)
+        snapshot.setdefault("misses", 0.0)
+        snapshot.setdefault("evictions", 0.0)
+        return snapshot
+
+    def hit_rate(self) -> float:
+        stats = self.stats()
+        total = stats["hits"] + stats["misses"]
+        if total == 0:
+            return 0.0
+        return stats["hits"] / total

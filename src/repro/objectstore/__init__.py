@@ -1,0 +1,44 @@
+"""Object store substrate: API, in-memory store, S3 simulator, retries.
+
+The paper stores database pages directly as objects on AWS S3 / Azure Blob.
+We substitute a deterministic simulator that reproduces the properties the
+paper's design reacts to:
+
+- *eventual consistency*: a freshly written object may be invisible for a
+  while ("NoSuchKey"), and an overwritten object may serve stale versions —
+  the two failure scenarios of Section 3;
+- *per-prefix request throttling*: request rate per key prefix is limited,
+  motivating the hashed-prefix scheme of Section 3.1;
+- *latency/throughput trade-off*: high per-request first-byte latency but
+  near-unlimited aggregate bandwidth (bounded only by the instance NIC);
+- *request pricing*: PUT/GET charges feeding Table 3.
+"""
+
+from repro.objectstore.errors import (
+    NoSuchKeyError,
+    ObjectStoreError,
+    OverwriteForbiddenError,
+    RetriesExhaustedError,
+)
+from repro.objectstore.base import ObjectStore
+from repro.objectstore.memory import InMemoryObjectStore
+from repro.objectstore.consistency import ConsistencyModel, STRONG, EVENTUAL
+from repro.objectstore.s3sim import ObjectStoreProfile, SimulatedObjectStore, S3_PROFILE
+from repro.objectstore.client import RetryingObjectClient, RetryPolicy
+
+__all__ = [
+    "ObjectStore",
+    "InMemoryObjectStore",
+    "SimulatedObjectStore",
+    "ObjectStoreProfile",
+    "S3_PROFILE",
+    "ConsistencyModel",
+    "STRONG",
+    "EVENTUAL",
+    "RetryingObjectClient",
+    "RetryPolicy",
+    "ObjectStoreError",
+    "NoSuchKeyError",
+    "OverwriteForbiddenError",
+    "RetriesExhaustedError",
+]

@@ -1,0 +1,46 @@
+"""Abstract object store interface.
+
+Keys are opaque strings (the engine uses ``<hashed-prefix>/<64-bit-key>``),
+values are immutable byte strings.  Implementations may be strongly or
+eventually consistent; callers that need read-after-write semantics must
+pair writes with unique keys and retry reads (see
+:class:`~repro.objectstore.client.RetryingObjectClient`).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterator
+
+
+class ObjectStore(ABC):
+    """Minimal bucket-like interface: put/get/delete/exists/list."""
+
+    @abstractmethod
+    def put(self, key: str, data: bytes) -> None:
+        """Store ``data`` under ``key`` (overwrite allowed by the API)."""
+
+    @abstractmethod
+    def get(self, key: str) -> bytes:
+        """Return the object's data; raise ``NoSuchKeyError`` if invisible."""
+
+    @abstractmethod
+    def delete(self, key: str) -> None:
+        """Delete the object.  Deleting a missing key is not an error
+        (mirrors S3 semantics and simplifies GC polling)."""
+
+    @abstractmethod
+    def exists(self, key: str) -> bool:
+        """Whether a *visible* object exists under ``key``."""
+
+    @abstractmethod
+    def list_keys(self, prefix: str = "") -> "Iterator[str]":
+        """Iterate visible keys starting with ``prefix``, in sorted order."""
+
+    @abstractmethod
+    def stored_bytes(self) -> int:
+        """Total bytes at rest (visible objects), for storage billing."""
+
+    def object_count(self) -> int:
+        """Number of visible objects (default: count ``list_keys``)."""
+        return sum(1 for __ in self.list_keys())

@@ -1,0 +1,202 @@
+"""Retrying client over a simulated object store, with windowed parallel I/O.
+
+This is the storage subsystem's view of the bucket:
+
+- **reads retry on "no such key"** up to a configurable number of attempts
+  with exponential backoff, converting eventual consistency into
+  read-after-write consistency for never-overwritten keys (Section 3);
+- **writes retry on transient failures**; after the retry budget is
+  exhausted the error propagates and the transaction layer rolls back;
+- **never-write-twice enforcement** (optional): the client remembers every
+  key it has written and refuses to write one twice — a guard for the
+  engine's invariant and the knob for the update-in-place ablation;
+- **windowed parallel I/O**: ``get_many``/``put_many`` keep up to ``window``
+  requests outstanding, modelling the aggressive parallel prefetching the
+  paper relies on to mask S3 latency.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.objectstore.errors import (
+    NoSuchKeyError,
+    OverwriteForbiddenError,
+    RetriesExhaustedError,
+)
+from repro.objectstore.s3sim import SimulatedObjectStore, TransientRequestError
+from repro.sim.metrics import MetricsRegistry
+from repro.sim.pipes import Pipe
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Retry budget and backoff schedule (virtual seconds)."""
+
+    max_attempts: int = 8
+    initial_backoff: float = 0.010
+    backoff_multiplier: float = 2.0
+    max_backoff: float = 1.0
+
+    def backoff(self, attempt: int) -> float:
+        """Backoff before retry number ``attempt`` (1-based)."""
+        delay = self.initial_backoff * (self.backoff_multiplier ** (attempt - 1))
+        return min(delay, self.max_backoff)
+
+
+class RetryingObjectClient:
+    """Engine-facing object store client (timed API, virtual clock)."""
+
+    def __init__(
+        self,
+        store: SimulatedObjectStore,
+        policy: RetryPolicy = RetryPolicy(),
+        enforce_unique_keys: bool = True,
+        parallel_window: int = 32,
+        bandwidth: "Optional[Pipe]" = None,
+    ) -> None:
+        if policy.max_attempts < 1:
+            raise ValueError("retry policy must allow at least one attempt")
+        if parallel_window < 1:
+            raise ValueError("parallel window must be at least 1")
+        self.store = store
+        self.policy = policy
+        self.enforce_unique_keys = enforce_unique_keys
+        self.parallel_window = parallel_window
+        # The node's own NIC pipe; transfers route through it so several
+        # multiplex nodes sharing one bucket each get their own bandwidth.
+        self.bandwidth = bandwidth
+        self.metrics = MetricsRegistry()
+        self._written_keys: "set[str]" = set()
+
+    @property
+    def clock(self):
+        return self.store.clock
+
+    # ------------------------------------------------------------------ #
+    # timed single-object operations (never advance the clock)
+    # ------------------------------------------------------------------ #
+
+    def put_at(self, key: str, data: bytes, now: float) -> float:
+        """Upload with retry on transient failures; return completion time."""
+        if self.enforce_unique_keys:
+            if key in self._written_keys:
+                raise OverwriteForbiddenError(key)
+            self._written_keys.add(key)
+        when = now
+        for attempt in range(1, self.policy.max_attempts + 1):
+            try:
+                return self.store.put_at(key, data, when,
+                                         bandwidth=self.bandwidth)
+            except TransientRequestError as error:
+                self.metrics.counter("put_retries").increment()
+                when = error.failed_at + self.policy.backoff(attempt)  # type: ignore[attr-defined]
+        raise RetriesExhaustedError(key, self.policy.max_attempts)
+
+    def get_at(self, key: str, now: float) -> "Tuple[bytes, float]":
+        """Read with retry on "no such key" and transient failures."""
+        when = now
+        for attempt in range(1, self.policy.max_attempts + 1):
+            try:
+                data, done = self.store.try_get_at(key, when,
+                                                   bandwidth=self.bandwidth)
+            except TransientRequestError as error:
+                self.metrics.counter("get_retries").increment()
+                when = error.failed_at + self.policy.backoff(attempt)  # type: ignore[attr-defined]
+                continue
+            if data is not None:
+                return data, done
+            self.metrics.counter("not_found_retries").increment()
+            when = done + self.policy.backoff(attempt)
+        raise RetriesExhaustedError(key, self.policy.max_attempts)
+
+    def delete_at(self, key: str, now: float) -> float:
+        return self.store.delete_at(key, now)
+
+    def exists_at(self, key: str, now: float) -> "Tuple[bool, float]":
+        return self.store.exists_at(key, now)
+
+    # ------------------------------------------------------------------ #
+    # synchronous wrappers (advance the clock)
+    # ------------------------------------------------------------------ #
+
+    def put(self, key: str, data: bytes) -> None:
+        self.clock.advance_to(self.put_at(key, data, self.clock.now()))
+
+    def get(self, key: str) -> bytes:
+        data, done = self.get_at(key, self.clock.now())
+        self.clock.advance_to(done)
+        return data
+
+    def delete(self, key: str) -> None:
+        self.clock.advance_to(self.delete_at(key, self.clock.now()))
+
+    def exists(self, key: str) -> bool:
+        visible, done = self.exists_at(key, self.clock.now())
+        self.clock.advance_to(done)
+        return visible
+
+    # ------------------------------------------------------------------ #
+    # windowed parallel batches (advance the clock to the last completion)
+    # ------------------------------------------------------------------ #
+
+    def _run_window(
+        self,
+        jobs: "Sequence[Tuple[str, Optional[bytes]]]",
+        window: "Optional[int]",
+    ) -> "Dict[str, bytes]":
+        """Run get (data=None) / put jobs with bounded outstanding requests."""
+        width = window or self.parallel_window
+        now = self.clock.now()
+        inflight: "List[float]" = []  # min-heap of completion times
+        results: "Dict[str, bytes]" = {}
+        last_completion = now
+        for key, payload in jobs:
+            start = now
+            if len(inflight) >= width:
+                start = max(now, heapq.heappop(inflight))
+            if payload is None:
+                data, done = self.get_at(key, start)
+                results[key] = data
+            else:
+                done = self.put_at(key, payload, start)
+            heapq.heappush(inflight, done)
+            last_completion = max(last_completion, done)
+        self.clock.advance_to(last_completion)
+        return results
+
+    def get_many(
+        self, keys: "Iterable[str]", window: "Optional[int]" = None
+    ) -> "Dict[str, bytes]":
+        """Fetch many objects with up to ``window`` outstanding requests."""
+        return self._run_window([(key, None) for key in keys], window)
+
+    def put_many(
+        self,
+        items: "Iterable[Tuple[str, bytes]]",
+        window: "Optional[int]" = None,
+    ) -> None:
+        self._run_window([(key, data) for key, data in items], window)
+
+    def delete_many(
+        self, keys: "Iterable[str]", window: "Optional[int]" = None
+    ) -> None:
+        """Delete many objects in parallel (GC batches)."""
+        width = window or self.parallel_window
+        now = self.clock.now()
+        inflight: "List[float]" = []
+        last_completion = now
+        for key in keys:
+            start = now
+            if len(inflight) >= width:
+                start = max(now, heapq.heappop(inflight))
+            done = self.delete_at(key, start)
+            heapq.heappush(inflight, done)
+            last_completion = max(last_completion, done)
+        self.clock.advance_to(last_completion)
+
+    def was_written(self, key: str) -> bool:
+        """Whether this client wrote ``key`` (never-write-twice ledger)."""
+        return key in self._written_keys

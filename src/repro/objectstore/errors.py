@@ -1,0 +1,38 @@
+"""Object store error types."""
+
+from __future__ import annotations
+
+
+class ObjectStoreError(Exception):
+    """Base class for object store failures."""
+
+
+class NoSuchKeyError(ObjectStoreError):
+    """The requested object does not exist — or is not visible *yet*.
+
+    Under eventual consistency this is raised both for keys that were never
+    written and for keys whose write has not propagated; the caller cannot
+    tell the difference, which is exactly why the paper's storage subsystem
+    retries reads up to a configurable limit.
+    """
+
+    def __init__(self, key: str, message: str = "") -> None:
+        super().__init__(message or f"no such key: {key!r}")
+        self.key = key
+
+
+class OverwriteForbiddenError(ObjectStoreError):
+    """A key was written twice while never-write-twice enforcement is on."""
+
+    def __init__(self, key: str) -> None:
+        super().__init__(f"key {key!r} was already written (never-write-twice)")
+        self.key = key
+
+
+class RetriesExhaustedError(ObjectStoreError):
+    """An operation kept failing past the configured retry budget."""
+
+    def __init__(self, key: str, attempts: int) -> None:
+        super().__init__(f"gave up on key {key!r} after {attempts} attempts")
+        self.key = key
+        self.attempts = attempts

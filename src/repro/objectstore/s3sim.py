@@ -1,0 +1,311 @@
+"""Deterministic S3/Azure-Blob simulator with timing, throttling and cost.
+
+The simulator layers the behaviours the paper's design responds to on top of
+an in-memory version history:
+
+- every write/read is charged per-request latency plus transfer time through
+  a (possibly shared) bandwidth :class:`~repro.sim.pipes.Pipe` — typically
+  the instance NIC, so S3 traffic competes with other network traffic;
+- request rates are throttled *per key prefix* with token buckets, mirroring
+  AWS's documented per-prefix request limits;
+- writes (and deletes) become visible after a lag drawn from a
+  :class:`~repro.objectstore.consistency.ConsistencyModel`, so reads may
+  observe "no such key" (scenario 3 of Section 3) or stale data
+  (scenario 2, only when a key is overwritten);
+- PUT/GET/DELETE counts are recorded against a
+  :class:`~repro.costs.meter.CostMeter`.
+
+Two APIs are exposed: the *timed* API (``put_at``/``try_get_at``/...)
+returns virtual completion times and never touches the clock — the engine's
+I/O scheduler uses it to model parallel requests — and the plain
+:class:`~repro.objectstore.base.ObjectStore` API which advances the shared
+clock to each operation's completion (convenient in tests and examples).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro.costs.meter import CostMeter
+from repro.objectstore.base import ObjectStore
+from repro.objectstore.consistency import (
+    ConsistencyModel,
+    EVENTUAL,
+    VersionedObject,
+)
+from repro.objectstore.errors import NoSuchKeyError
+from repro.sim.clock import VirtualClock
+from repro.sim.metrics import MetricsRegistry
+from repro.sim.pipes import Pipe, TokenBucket
+from repro.sim.rng import DeterministicRng
+
+
+@dataclass(frozen=True)
+class ObjectStoreProfile:
+    """Performance/pricing profile of one object store service."""
+
+    name: str
+    put_latency: float = 0.030
+    get_latency: float = 0.015
+    delete_latency: float = 0.010
+    latency_jitter: float = 0.10
+    per_prefix_put_rate: float = 3500.0
+    per_prefix_get_rate: float = 5500.0
+    consistency: ConsistencyModel = EVENTUAL
+    transient_failure_probability: float = 0.001
+    volume: str = "s3"  # pricing key in the PriceTable
+    # Aggregate service bandwidth when no shared pipe (e.g. a NIC) is given.
+    default_bandwidth: float = 100e9
+
+
+S3_PROFILE = ObjectStoreProfile(name="s3")
+
+# Azure Blob Storage: the paper's other supported provider.  Broadly
+# similar trade-offs to S3; slightly different latencies and pricing.
+AZURE_BLOB_PROFILE = ObjectStoreProfile(
+    name="azure-blob",
+    put_latency=0.035,
+    get_latency=0.018,
+    delete_latency=0.012,
+    per_prefix_put_rate=2000.0,
+    per_prefix_get_rate=4000.0,
+    volume="azure-blob",
+)
+
+
+class TransientRequestError(Exception):
+    """A retryable request failure (HTTP 500/503-style)."""
+
+    def __init__(self, key: str) -> None:
+        super().__init__(f"transient failure on key {key!r}")
+        self.key = key
+
+
+class SimulatedObjectStore(ObjectStore):
+    """One simulated bucket."""
+
+    def __init__(
+        self,
+        profile: ObjectStoreProfile = S3_PROFILE,
+        clock: Optional[VirtualClock] = None,
+        rng: Optional[DeterministicRng] = None,
+        bandwidth: Optional[Pipe] = None,
+        meter: Optional[CostMeter] = None,
+    ) -> None:
+        self.profile = profile
+        self.clock = clock or VirtualClock()
+        self._rng = rng or DeterministicRng(0, f"objectstore/{profile.name}")
+        self._lag_rng = self._rng.substream("visibility")
+        self._jitter_rng = self._rng.substream("jitter")
+        self._failure_rng = self._rng.substream("failures")
+        self._bandwidth = bandwidth or Pipe(
+            profile.default_bandwidth, name=f"{profile.name}/bw"
+        )
+        self.meter = meter
+        self.metrics = MetricsRegistry()
+        self._objects: Dict[str, VersionedObject] = {}
+        self._prefix_put_buckets: Dict[str, TokenBucket] = {}
+        self._prefix_get_buckets: Dict[str, TokenBucket] = {}
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _prefix(key: str) -> str:
+        return key.split("/", 1)[0]
+
+    def _put_bucket(self, prefix: str) -> TokenBucket:
+        if prefix not in self._prefix_put_buckets:
+            rate = self.profile.per_prefix_put_rate
+            self._prefix_put_buckets[prefix] = TokenBucket(
+                rate, rate, name=f"put/{prefix}"
+            )
+        return self._prefix_put_buckets[prefix]
+
+    def _get_bucket(self, prefix: str) -> TokenBucket:
+        if prefix not in self._prefix_get_buckets:
+            rate = self.profile.per_prefix_get_rate
+            self._prefix_get_buckets[prefix] = TokenBucket(
+                rate, rate, name=f"get/{prefix}"
+            )
+        return self._prefix_get_buckets[prefix]
+
+    def _jittered(self, latency: float) -> float:
+        if self.profile.latency_jitter <= 0:
+            return latency
+        return latency * self._jitter_rng.lognormal(0.0, self.profile.latency_jitter)
+
+    def _transient_failure(self) -> bool:
+        p = self.profile.transient_failure_probability
+        return p > 0 and self._failure_rng.random() < p
+
+    def _record_requests(self, puts: int = 0, gets: int = 0, deletes: int = 0) -> None:
+        if self.meter is not None:
+            self.meter.record_requests(
+                self.profile.volume, puts=puts, gets=gets, deletes=deletes
+            )
+
+    # ------------------------------------------------------------------ #
+    # timed API (never advances the clock)
+    # ------------------------------------------------------------------ #
+
+    def put_at(self, key: str, data: bytes, now: float,
+               bandwidth: "Optional[Pipe]" = None) -> float:
+        """Upload ``data``; return virtual completion time.
+
+        ``bandwidth`` lets a caller route the transfer through its own NIC
+        pipe (multiplex nodes each have one); the store's default pipe is
+        used otherwise.  Raises :class:`TransientRequestError` on a
+        (simulated) retryable failure; the failed attempt is still billed
+        and still takes time — the error carries the completion time in its
+        ``failed_at`` attribute.
+        """
+        if not isinstance(data, (bytes, bytearray)):
+            raise TypeError(f"object data must be bytes, got {type(data)!r}")
+        start = self._put_bucket(self._prefix(key)).request(now)
+        __, uploaded = (bandwidth or self._bandwidth).request(start, float(len(data)))
+        completion = uploaded + self._jittered(self.profile.put_latency)
+        self.metrics.counter("put_requests").increment()
+        self.metrics.counter("put_bytes").increment(len(data))
+        # Recorded at transfer completion: the bandwidth curve then shows
+        # what the pipe actually sustained (Figure 8).
+        self.metrics.series("net_bytes").record(uploaded, len(data))
+        self._record_requests(puts=1)
+        if self._transient_failure():
+            error = TransientRequestError(key)
+            error.failed_at = completion  # type: ignore[attr-defined]
+            raise error
+        lag = self.profile.consistency.sample_lag(self._lag_rng)
+        if lag > 0:
+            self.metrics.counter("delayed_visibility_puts").increment()
+        versioned = self._objects.setdefault(key, VersionedObject())
+        if versioned.latest_data() is not None:
+            self.metrics.counter("overwrites").increment()
+        versioned.add_version(completion + lag, bytes(data),
+                              op_time=completion)
+        return completion
+
+    def try_get_at(self, key: str, now: float,
+                   bandwidth: "Optional[Pipe]" = None) -> "Tuple[Optional[bytes], float]":
+        """Attempt a read; return ``(data_or_None, completion_time)``.
+
+        ``None`` data means the object is not visible at service time — the
+        eventually-consistent "no such key" case.  Stale reads (possible only
+        for overwritten keys) return the stale bytes and bump a counter.
+        """
+        start = self._get_bucket(self._prefix(key)).request(now)
+        served_at = start + self._jittered(self.profile.get_latency)
+        self.metrics.counter("get_requests").increment()
+        self._record_requests(gets=1)
+        if self._transient_failure():
+            error = TransientRequestError(key)
+            error.failed_at = served_at  # type: ignore[attr-defined]
+            raise error
+        versioned = self._objects.get(key)
+        data = versioned.visible_data(served_at) if versioned is not None else None
+        if data is None:
+            self.metrics.counter("get_misses").increment()
+            return None, served_at
+        if versioned is not None and versioned.is_stale_read(served_at):
+            self.metrics.counter("stale_reads").increment()
+        __, downloaded = (bandwidth or self._bandwidth).request(
+            served_at, float(len(data))
+        )
+        self.metrics.counter("get_bytes").increment(len(data))
+        self.metrics.series("net_bytes").record(downloaded, len(data))
+        return data, downloaded
+
+    def delete_at(self, key: str, now: float) -> float:
+        """Delete (tombstone) the object; return completion time."""
+        start = self._put_bucket(self._prefix(key)).request(now)
+        completion = start + self._jittered(self.profile.delete_latency)
+        self.metrics.counter("delete_requests").increment()
+        self._record_requests(deletes=1)
+        lag = self.profile.consistency.sample_lag(self._lag_rng)
+        versioned = self._objects.get(key)
+        if versioned is not None and versioned.latest_data() is not None:
+            versioned.add_version(completion + lag, None,
+                                  op_time=completion)
+        return completion
+
+    def exists_at(self, key: str, now: float) -> "Tuple[bool, float]":
+        """HEAD-style visibility probe; billed as a GET."""
+        start = self._get_bucket(self._prefix(key)).request(now)
+        served_at = start + self._jittered(self.profile.get_latency)
+        self.metrics.counter("head_requests").increment()
+        self._record_requests(gets=1)
+        versioned = self._objects.get(key)
+        visible = versioned is not None and versioned.visible_data(served_at) is not None
+        return visible, served_at
+
+    # ------------------------------------------------------------------ #
+    # plain ObjectStore API (advances the shared clock)
+    # ------------------------------------------------------------------ #
+
+    def put(self, key: str, data: bytes) -> None:
+        try:
+            done = self.put_at(key, data, self.clock.now())
+        except TransientRequestError as error:
+            self.clock.advance_to(error.failed_at)  # type: ignore[attr-defined]
+            raise
+        self.clock.advance_to(done)
+
+    def get(self, key: str) -> bytes:
+        try:
+            data, done = self.try_get_at(key, self.clock.now())
+        except TransientRequestError as error:
+            self.clock.advance_to(error.failed_at)  # type: ignore[attr-defined]
+            raise
+        self.clock.advance_to(done)
+        if data is None:
+            raise NoSuchKeyError(key)
+        return data
+
+    def delete(self, key: str) -> None:
+        self.clock.advance_to(self.delete_at(key, self.clock.now()))
+
+    def exists(self, key: str) -> bool:
+        visible, done = self.exists_at(key, self.clock.now())
+        self.clock.advance_to(done)
+        return visible
+
+    def list_keys(self, prefix: str = "") -> "Iterator[str]":
+        now = self.clock.now()
+        for key in sorted(self._objects):
+            if key.startswith(prefix) and self._objects[key].visible_data(now) is not None:
+                yield key
+
+    def stored_bytes(self) -> int:
+        """Bytes at rest counting the *latest* version of each key."""
+        total = 0
+        for versioned in self._objects.values():
+            data = versioned.latest_data()
+            if data is not None:
+                total += len(data)
+        return total
+
+    def object_count(self) -> int:
+        return sum(
+            1 for v in self._objects.values() if v.latest_data() is not None
+        )
+
+    # Introspection used by tests/ablations.
+
+    def latest_data(self, key: str) -> "Optional[bytes]":
+        """The most recent version regardless of visibility (test hook)."""
+        versioned = self._objects.get(key)
+        return versioned.latest_data() if versioned is not None else None
+
+    def prefix_count(self) -> int:
+        """Number of distinct key prefixes seen so far."""
+        return len(set(self._prefix_put_buckets) | set(self._prefix_get_buckets))
+
+    def throttled_requests(self) -> int:
+        """Requests delayed by per-prefix throttling (for the prefix ablation)."""
+        return sum(
+            bucket.throttled_requests
+            for bucket in list(self._prefix_put_buckets.values())
+            + list(self._prefix_get_buckets.values())
+        )

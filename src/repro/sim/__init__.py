@@ -1,0 +1,27 @@
+"""Deterministic simulation substrate: virtual time, rate limits, devices.
+
+All performance-sensitive components in this reproduction charge their work
+(I/O, CPU, RPC) to a shared :class:`~repro.sim.clock.VirtualClock` instead of
+wall-clock time.  Real Python code computes real results, while the clock
+advances according to device models, which makes benchmark output
+deterministic and independent of the host machine.
+"""
+
+from repro.sim.clock import VirtualClock
+from repro.sim.rng import DeterministicRng
+from repro.sim.pipes import Pipe, TokenBucket
+from repro.sim.devices import QueueingDevice, DeviceProfile
+from repro.sim.metrics import Counter, Histogram, MetricsRegistry, TimeSeries
+
+__all__ = [
+    "VirtualClock",
+    "DeterministicRng",
+    "Pipe",
+    "TokenBucket",
+    "QueueingDevice",
+    "DeviceProfile",
+    "Counter",
+    "Histogram",
+    "MetricsRegistry",
+    "TimeSeries",
+]

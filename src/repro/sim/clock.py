@@ -1,0 +1,79 @@
+"""A virtual clock shared by every simulated component.
+
+The clock only moves forward.  Components *charge* durations to the clock
+(``advance``) or declare that an operation completes at an absolute virtual
+time (``advance_to``).  Benchmarks read elapsed virtual seconds through
+:meth:`VirtualClock.now` and :class:`Stopwatch`.
+"""
+
+from __future__ import annotations
+
+
+class ClockError(Exception):
+    """Raised when a caller tries to move the clock backwards."""
+
+
+class VirtualClock:
+    """Monotonically increasing virtual time, in seconds.
+
+    The clock starts at zero (or at ``start``).  It is deliberately not
+    thread-safe: the whole simulation is single-threaded and deterministic.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise ClockError(f"clock cannot start at negative time {start!r}")
+        self._now = float(start)
+
+    def now(self) -> float:
+        """Return the current virtual time in seconds."""
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move the clock forward by ``seconds`` and return the new time."""
+        if seconds < 0:
+            raise ClockError(f"cannot advance clock by {seconds!r} seconds")
+        self._now += seconds
+        return self._now
+
+    def advance_to(self, when: float) -> float:
+        """Move the clock forward to the absolute time ``when``.
+
+        Moving to a time in the past is an error; moving to the current time
+        is a no-op.  Returns the new time.
+        """
+        if when < self._now - 1e-12:
+            raise ClockError(
+                f"cannot move clock backwards from {self._now!r} to {when!r}"
+            )
+        self._now = max(self._now, when)
+        return self._now
+
+    def __repr__(self) -> str:
+        return f"VirtualClock(now={self._now:.6f})"
+
+
+class Stopwatch:
+    """Measure elapsed virtual time across a code region."""
+
+    def __init__(self, clock: VirtualClock) -> None:
+        self._clock = clock
+        self._start: float = clock.now()
+        self._elapsed: float = 0.0
+        self._running = False
+
+    def __enter__(self) -> "Stopwatch":
+        self._start = self._clock.now()
+        self._running = True
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._elapsed = self._clock.now() - self._start
+        self._running = False
+
+    @property
+    def elapsed(self) -> float:
+        """Elapsed virtual seconds (live while running)."""
+        if self._running:
+            return self._clock.now() - self._start
+        return self._elapsed

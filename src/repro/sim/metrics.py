@@ -1,0 +1,154 @@
+"""Lightweight metrics: counters, histograms and time series.
+
+The benchmark harness reads these to produce the paper's tables and figures
+(e.g. OCM hit/miss counts for Table 5, NIC bandwidth samples for Figure 8).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Tuple
+
+
+class Counter:
+    """A monotonically increasing counter."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0.0
+
+    def increment(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r}, value={self._value:g})"
+
+
+class Histogram:
+    """Stores observations; offers mean/percentile/geomean summaries."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._values: List[float] = []
+
+    def observe(self, value: float) -> None:
+        self._values.append(float(value))
+
+    @property
+    def count(self) -> int:
+        return len(self._values)
+
+    @property
+    def values(self) -> "List[float]":
+        return list(self._values)
+
+    @property
+    def total(self) -> float:
+        return sum(self._values)
+
+    @property
+    def mean(self) -> float:
+        if not self._values:
+            return 0.0
+        return sum(self._values) / len(self._values)
+
+    def percentile(self, q: float) -> float:
+        """Linear-interpolated percentile; ``q`` in [0, 100]."""
+        if not self._values:
+            return 0.0
+        if not 0 <= q <= 100:
+            raise ValueError(f"percentile must be in [0, 100], got {q!r}")
+        ordered = sorted(self._values)
+        if len(ordered) == 1:
+            return ordered[0]
+        rank = (q / 100.0) * (len(ordered) - 1)
+        low = int(math.floor(rank))
+        high = int(math.ceil(rank))
+        if low == high:
+            return ordered[low]
+        frac = rank - low
+        return ordered[low] * (1 - frac) + ordered[high] * frac
+
+    def geomean(self) -> float:
+        """Geometric mean of positive observations (paper's query summary)."""
+        positives = [v for v in self._values if v > 0]
+        if not positives:
+            return 0.0
+        return math.exp(sum(math.log(v) for v in positives) / len(positives))
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name!r}, count={self.count})"
+
+
+class TimeSeries:
+    """(virtual-time, value) samples; supports bucketed rate aggregation."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._samples: List[Tuple[float, float]] = []
+
+    def record(self, when: float, value: float) -> None:
+        # Samples may arrive out of time order (asynchronous background
+        # work is scheduled lazily); consumers sort or bucket as needed.
+        self._samples.append((when, float(value)))
+
+    @property
+    def samples(self) -> "List[Tuple[float, float]]":
+        return sorted(self._samples)
+
+    def bucketed_sum(self, bucket_seconds: float) -> "List[Tuple[float, float]]":
+        """Sum sample values per fixed-width time bucket.
+
+        Returns ``(bucket_start_time, sum)`` pairs for non-empty buckets.
+        Used e.g. to turn per-request byte counts into a bandwidth curve.
+        """
+        if bucket_seconds <= 0:
+            raise ValueError("bucket width must be positive")
+        buckets: Dict[int, float] = {}
+        for when, value in self._samples:
+            buckets.setdefault(int(when // bucket_seconds), 0.0)
+            buckets[int(when // bucket_seconds)] += value
+        return [
+            (index * bucket_seconds, total)
+            for index, total in sorted(buckets.items())
+        ]
+
+    def __repr__(self) -> str:
+        return f"TimeSeries({self.name!r}, samples={len(self._samples)})"
+
+
+class MetricsRegistry:
+    """A named collection of metrics, one per simulated component."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._series: Dict[str, TimeSeries] = {}
+
+    def counter(self, name: str) -> Counter:
+        if name not in self._counters:
+            self._counters[name] = Counter(name)
+        return self._counters[name]
+
+    def histogram(self, name: str) -> Histogram:
+        if name not in self._histograms:
+            self._histograms[name] = Histogram(name)
+        return self._histograms[name]
+
+    def series(self, name: str) -> TimeSeries:
+        if name not in self._series:
+            self._series[name] = TimeSeries(name)
+        return self._series[name]
+
+    def counters(self) -> "Iterable[Counter]":
+        return self._counters.values()
+
+    def snapshot(self) -> "Dict[str, float]":
+        """Flat view of all counter values (for reports and tests)."""
+        return {name: c.value for name, c in self._counters.items()}

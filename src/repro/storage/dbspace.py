@@ -1,0 +1,405 @@
+"""Dbspaces: where pages physically live.
+
+A *dbspace* is SAP IQ's unit of physical storage.  This module provides:
+
+- :class:`PageStore` — the I/O surface a dbspace offers to the buffer
+  manager and the blockmap: write a page image, read it back by locator,
+  free it, all in virtual time with windowed parallelism;
+- :class:`BlockDbspace` — a conventional dbspace over a shared block device
+  with a freelist allocator (update-in-place allowed within a transaction);
+- :class:`CloudDbspace` — a cloud dbspace over an object store: every write
+  consumes a *fresh* 64-bit object key (never-write-twice), names are
+  prefixed with a randomized hash, and there is no freelist at all;
+- :class:`ObjectIO` — the pluggable path from a cloud dbspace to the bucket,
+  implemented directly by :class:`DirectObjectIO` or by the Object Cache
+  Manager (:mod:`repro.core.ocm`).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, Iterable, List, Optional, Protocol, Sequence, Tuple
+
+from repro.blockstore.device import BlockDevice
+from repro.blockstore.freelist import Freelist
+from repro.objectstore.client import RetryingObjectClient
+from repro.storage.keys import hashed_object_name, object_key_from_name
+from repro.storage.locator import (
+    NULL_LOCATOR,
+    block_range,
+    is_object_key,
+    make_block_locator,
+)
+
+
+class DbspaceError(Exception):
+    """Dbspace misuse (wrong locator kind, exhausted space...)."""
+
+
+class KeySource(Protocol):
+    """Anything that can hand out fresh object keys (see core.keygen)."""
+
+    def next_key(self) -> int:
+        """Return a fresh, never-before-used key in ``[2^63, 2^64)``."""
+        ...
+
+
+class ObjectIO(ABC):
+    """Cloud dbspace I/O path: direct to the bucket, or through the OCM.
+
+    ``txn_id`` attributes writes to a transaction so the OCM can promote
+    them on FlushForCommit; ``commit_mode`` selects write-through.
+    """
+
+    @abstractmethod
+    def put(self, name: str, data: bytes, txn_id: "Optional[int]" = None,
+            commit_mode: bool = False) -> None:
+        ...
+
+    @abstractmethod
+    def get(self, name: str) -> bytes:
+        ...
+
+    @abstractmethod
+    def get_many(self, names: "Sequence[str]") -> "Dict[str, bytes]":
+        ...
+
+    @abstractmethod
+    def put_many(self, items: "Sequence[Tuple[str, bytes]]",
+                 txn_id: "Optional[int]" = None,
+                 commit_mode: bool = False) -> None:
+        ...
+
+    @abstractmethod
+    def delete(self, name: str) -> None:
+        ...
+
+    @abstractmethod
+    def delete_many(self, names: "Sequence[str]") -> None:
+        ...
+
+    @abstractmethod
+    def exists(self, name: str) -> bool:
+        ...
+
+    def flush_for_commit(self, txn_id: int) -> None:
+        """Drain pending asynchronous work for a committing transaction."""
+        # Direct I/O has nothing pending; the OCM overrides this.
+
+    def stored_bytes(self) -> int:
+        """Bytes at rest on the underlying bucket (billing)."""
+        raise NotImplementedError
+
+
+class DirectObjectIO(ObjectIO):
+    """Cloud I/O without a cache: straight through the retrying client."""
+
+    def __init__(self, client: RetryingObjectClient) -> None:
+        self.client = client
+
+    def put(self, name: str, data: bytes, txn_id: "Optional[int]" = None,
+            commit_mode: bool = False) -> None:
+        self.client.put(name, data)
+
+    def get(self, name: str) -> bytes:
+        return self.client.get(name)
+
+    def get_many(self, names: "Sequence[str]") -> "Dict[str, bytes]":
+        return self.client.get_many(names)
+
+    def put_many(self, items: "Sequence[Tuple[str, bytes]]",
+                 txn_id: "Optional[int]" = None,
+                 commit_mode: bool = False) -> None:
+        self.client.put_many(items)
+
+    def delete(self, name: str) -> None:
+        self.client.delete(name)
+
+    def delete_many(self, names: "Sequence[str]") -> None:
+        self.client.delete_many(names)
+
+    def exists(self, name: str) -> bool:
+        return self.client.exists(name)
+
+    def stored_bytes(self) -> int:
+        return self.client.store.stored_bytes()
+
+
+class PageStore(ABC):
+    """A dbspace's page I/O surface.
+
+    ``page_size_limit`` optionally overrides the engine-wide page size for
+    objects living on this dbspace (the paper's future-work item of
+    per-dbspace page sizes; the uniform-size requirement came from shared
+    block devices and does not apply to object stores).
+    """
+
+    def __init__(self, name: str,
+                 page_size_limit: "Optional[int]" = None) -> None:
+        self.name = name
+        self.page_size_limit = page_size_limit
+
+    @property
+    @abstractmethod
+    def is_cloud(self) -> bool:
+        """Whether locators are object keys (True) or block runs."""
+
+    @abstractmethod
+    def write_page(
+        self,
+        payload: bytes,
+        replace_locator: int = NULL_LOCATOR,
+        in_place_ok: bool = False,
+        txn_id: "Optional[int]" = None,
+        commit_mode: bool = False,
+    ) -> int:
+        """Persist a (compressed) page image; return its locator.
+
+        On a conventional dbspace, if ``in_place_ok`` (the page was already
+        written by the *same* transaction) and the new image fits the old
+        run, the page is updated in place and ``replace_locator`` is
+        returned.  On a cloud dbspace, a write is *always* a fresh key.
+        """
+
+    @abstractmethod
+    def read_page(self, locator: int) -> bytes:
+        """Read one page image."""
+
+    @abstractmethod
+    def read_pages(self, locators: "Sequence[int]") -> "Dict[int, bytes]":
+        """Windowed-parallel read of several page images (prefetching)."""
+
+    @abstractmethod
+    def write_pages(
+        self,
+        payloads: "Sequence[bytes]",
+        txn_id: "Optional[int]" = None,
+        commit_mode: bool = False,
+    ) -> "List[int]":
+        """Windowed-parallel write; returns locators in payload order."""
+
+    @abstractmethod
+    def free_page(self, locator: int) -> None:
+        """Release a page's storage (GC path)."""
+
+    @abstractmethod
+    def free_pages(self, locators: "Sequence[int]") -> None:
+        """Release many pages (GC batches)."""
+
+    @abstractmethod
+    def stored_bytes(self) -> int:
+        """Bytes at rest on the dbspace (billing)."""
+
+    def flush_for_commit(self, txn_id: int) -> None:
+        """Hook for commit-time cache draining (cloud + OCM only)."""
+
+
+class BlockDbspace(PageStore):
+    """A conventional dbspace: freelist-allocated runs on a block device."""
+
+    def __init__(self, name: str, device: BlockDevice,
+                 freelist: "Optional[Freelist]" = None) -> None:
+        super().__init__(name)
+        self.device = device
+        self.freelist = freelist or Freelist(device.total_blocks)
+        if self.freelist.total_blocks != device.total_blocks:
+            raise DbspaceError(
+                "freelist and device disagree on block count: "
+                f"{self.freelist.total_blocks} vs {device.total_blocks}"
+            )
+
+    @property
+    def is_cloud(self) -> bool:
+        return False
+
+    def _allocate(self, payload: bytes) -> int:
+        nblocks = self.device.blocks_for(len(payload))
+        start = self.freelist.allocate(nblocks)
+        return make_block_locator(start, nblocks)
+
+    def write_page(
+        self,
+        payload: bytes,
+        replace_locator: int = NULL_LOCATOR,
+        in_place_ok: bool = False,
+        txn_id: "Optional[int]" = None,
+        commit_mode: bool = False,
+    ) -> int:
+        if (
+            in_place_ok
+            and replace_locator != NULL_LOCATOR
+            and not is_object_key(replace_locator)
+        ):
+            start, nblocks = block_range(replace_locator)
+            if self.device.blocks_for(len(payload)) <= nblocks:
+                # Same-transaction update in place: strong consistency of
+                # block storage makes this safe (the pre-cloud fast path).
+                self.device.write(start, payload)
+                return replace_locator
+        locator = self._allocate(payload)
+        start, __ = block_range(locator)
+        self.device.write(start, payload)
+        return locator
+
+    def read_page(self, locator: int) -> bytes:
+        start, __ = block_range(locator)
+        return self.device.read(start)
+
+    def read_pages(self, locators: "Sequence[int]") -> "Dict[int, bytes]":
+        starts = {block_range(loc)[0]: loc for loc in locators}
+        raw = self.device.read_many(list(starts))
+        return {starts[start]: data for start, data in raw.items()}
+
+    def write_pages(
+        self,
+        payloads: "Sequence[bytes]",
+        txn_id: "Optional[int]" = None,
+        commit_mode: bool = False,
+    ) -> "List[int]":
+        locators = [self._allocate(payload) for payload in payloads]
+        items = [
+            (block_range(loc)[0], payload)
+            for loc, payload in zip(locators, payloads)
+        ]
+        self.device.write_many(items)
+        return locators
+
+    def free_page(self, locator: int) -> None:
+        start, nblocks = block_range(locator)
+        self.freelist.free(start, nblocks)
+        self.device.discard(start)
+
+    def free_pages(self, locators: "Sequence[int]") -> None:
+        for locator in locators:
+            self.free_page(locator)
+
+    def stored_bytes(self) -> int:
+        return self.device.stored_bytes()
+
+
+class CloudDbspace(PageStore):
+    """A cloud dbspace: pages are immutable objects named by fresh keys.
+
+    With an ``encryptor``, page images are encrypted *before* entering the
+    I/O path, so both the OCM's local cache and the objects at rest hold
+    ciphertext only (Section 4).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        io: ObjectIO,
+        key_source: KeySource,
+        prefix_bits: int = 16,
+        encryptor: "Optional[object]" = None,
+        page_size_limit: "Optional[int]" = None,
+    ) -> None:
+        super().__init__(name, page_size_limit)
+        self.io = io
+        self.key_source = key_source
+        self.prefix_bits = prefix_bits
+        self.encryptor = encryptor
+
+    @property
+    def is_cloud(self) -> bool:
+        return True
+
+    def _seal(self, payload: bytes) -> bytes:
+        if self.encryptor is None:
+            return payload
+        return self.encryptor.encrypt(payload)  # type: ignore[attr-defined]
+
+    def _open(self, payload: bytes) -> bytes:
+        if self.encryptor is None:
+            return payload
+        return self.encryptor.decrypt(payload)  # type: ignore[attr-defined]
+
+    def object_name(self, locator: int) -> str:
+        if not is_object_key(locator):
+            raise DbspaceError(
+                f"cloud dbspace {self.name!r} got a block locator {locator:#x}"
+            )
+        return hashed_object_name(locator, self.prefix_bits)
+
+    def write_page(
+        self,
+        payload: bytes,
+        replace_locator: int = NULL_LOCATOR,
+        in_place_ok: bool = False,
+        txn_id: "Optional[int]" = None,
+        commit_mode: bool = False,
+    ) -> int:
+        # Never write an object twice: in_place_ok is deliberately ignored.
+        key = self.key_source.next_key()
+        self.io.put(self.object_name(key), self._seal(payload),
+                    txn_id=txn_id, commit_mode=commit_mode)
+        return key
+
+    def read_page(self, locator: int) -> bytes:
+        return self._open(self.io.get(self.object_name(locator)))
+
+    def read_pages(self, locators: "Sequence[int]") -> "Dict[int, bytes]":
+        names = {self.object_name(loc): loc for loc in locators}
+        raw = self.io.get_many(list(names))
+        return {names[name]: self._open(data) for name, data in raw.items()}
+
+    def write_pages(
+        self,
+        payloads: "Sequence[bytes]",
+        txn_id: "Optional[int]" = None,
+        commit_mode: bool = False,
+    ) -> "List[int]":
+        keys = [self.key_source.next_key() for __ in payloads]
+        items = [
+            (self.object_name(key), self._seal(payload))
+            for key, payload in zip(keys, payloads)
+        ]
+        self.io.put_many(items, txn_id=txn_id, commit_mode=commit_mode)
+        return keys
+
+    def free_page(self, locator: int) -> None:
+        self.io.delete(self.object_name(locator))
+
+    def free_pages(self, locators: "Sequence[int]") -> None:
+        self.io.delete_many([self.object_name(loc) for loc in locators])
+
+    def poll_and_free(self, locator: int) -> bool:
+        """GC polling: delete the object if it exists; report whether it did.
+
+        Used when recovering handed-out key ranges — some keys in a polled
+        range were never flushed, which is fine (Section 3.3).  The delete
+        is issued even when the probe says "not found": under eventual
+        consistency a freshly written object may be temporarily invisible,
+        and deletes are idempotent (and free) on object stores, so deleting
+        blindly guarantees the orphan cannot resurface later.
+        """
+        name = self.object_name(locator)
+        existed = self.io.exists(name)
+        self.io.delete(name)
+        return existed
+
+    def stored_bytes(self) -> int:
+        return self.io.stored_bytes()
+
+    def flush_for_commit(self, txn_id: int) -> None:
+        self.io.flush_for_commit(txn_id)
+
+
+class Dbspace:
+    """User-facing dbspace record: a named PageStore plus its kind."""
+
+    def __init__(self, store: PageStore, system: bool = False) -> None:
+        self.store = store
+        self.system = system
+
+    @property
+    def name(self) -> str:
+        return self.store.name
+
+    @property
+    def is_cloud(self) -> bool:
+        return self.store.is_cloud
+
+    def __repr__(self) -> str:
+        kind = "cloud" if self.is_cloud else ("system" if self.system else "block")
+        return f"Dbspace({self.name!r}, {kind})"

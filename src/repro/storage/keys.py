@@ -1,0 +1,54 @@
+"""Object naming: hashed randomized prefixes over 64-bit keys.
+
+AWS throttles request rates *per key prefix*.  The paper therefore prepends
+each 64-bit key with a prefix computed by a cheap hash of the key (they cite
+the Mersenne Twister); we use the splitmix64 finalizer, which has the same
+relevant property — uniform, deterministic dispersion — in a few integer
+operations.
+
+The on-bucket name is ``"{hash16}/{key16}"`` (both lower-case hex), so the
+original 64-bit key is recoverable from the name (used by GC polling).
+"""
+
+from __future__ import annotations
+
+from repro.storage.locator import OBJECT_KEY_BASE
+
+_MASK64 = (1 << 64) - 1
+
+
+def _splitmix64(value: int) -> int:
+    """The splitmix64 finalizer: a fast, well-dispersed 64-bit hash."""
+    value = (value + 0x9E3779B97F4A7C15) & _MASK64
+    value = ((value ^ (value >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    value = ((value ^ (value >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return value ^ (value >> 31)
+
+
+def hashed_object_name(key: int, prefix_bits: int = 16) -> str:
+    """Bucket name for a 64-bit object key, with a randomized prefix.
+
+    ``prefix_bits`` controls how many distinct prefixes are generated
+    (2^prefix_bits); the ablation benchmark varies this down to 0 to show
+    the throttling cost of a single shared prefix.
+    """
+    if not OBJECT_KEY_BASE <= key < (1 << 64):
+        raise ValueError(
+            f"object keys live in [2^63, 2^64), got {key:#x}"
+        )
+    if not 0 <= prefix_bits <= 32:
+        raise ValueError(f"prefix_bits must be in [0, 32], got {prefix_bits}")
+    if prefix_bits == 0:
+        return f"pages/{key:016x}"
+    prefix = _splitmix64(key) >> (64 - prefix_bits)
+    width = (prefix_bits + 3) // 4
+    return f"{prefix:0{width}x}/{key:016x}"
+
+
+def object_key_from_name(name: str) -> int:
+    """Recover the 64-bit key from a bucket object name."""
+    __, __, key_hex = name.rpartition("/")
+    key = int(key_hex, 16)
+    if not OBJECT_KEY_BASE <= key < (1 << 64):
+        raise ValueError(f"name {name!r} does not carry a valid object key")
+    return key

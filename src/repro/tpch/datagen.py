@@ -1,0 +1,285 @@
+"""Deterministic TPC-H data generator (a laptop-scale dbgen).
+
+Row counts scale with the scale factor exactly as in the spec (supplier
+10k/SF, part 200k/SF, customer 150k/SF, orders 1.5M/SF, 1-7 lineitems per
+order); value distributions follow the spec where they affect query
+behaviour (dates, prices, discounts, flags, segments, priorities, brands,
+types, containers, nations/regions) and are simplified where only text
+cosmetics differ (comments are word salads seeded with the phrases Q13 and
+Q16 grep for).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+from repro.sim.rng import DeterministicRng
+from repro.tpch.dates import CURRENT_DATE, d
+
+REGIONS = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"]
+
+# nation -> region index, in nationkey order (the spec's 25 nations).
+NATIONS = [
+    ("ALGERIA", 0), ("ARGENTINA", 1), ("BRAZIL", 1), ("CANADA", 1),
+    ("EGYPT", 4), ("ETHIOPIA", 0), ("FRANCE", 3), ("GERMANY", 3),
+    ("INDIA", 2), ("INDONESIA", 2), ("IRAN", 4), ("IRAQ", 4),
+    ("JAPAN", 2), ("JORDAN", 4), ("KENYA", 0), ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0), ("PERU", 1), ("CHINA", 2), ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4), ("VIETNAM", 2), ("RUSSIA", 3),
+    ("UNITED KINGDOM", 3), ("UNITED STATES", 1),
+]
+
+SEGMENTS = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"]
+PRIORITIES = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"]
+SHIP_MODES = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"]
+SHIP_INSTRUCTIONS = [
+    "DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN",
+]
+CONTAINERS_1 = ["SM", "LG", "MED", "JUMBO", "WRAP"]
+CONTAINERS_2 = ["CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"]
+TYPES_1 = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"]
+TYPES_2 = ["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"]
+TYPES_3 = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"]
+NAME_WORDS = [
+    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black",
+    "blanched", "blue", "blush", "brown", "burlywood", "burnished",
+    "chartreuse", "chiffon", "chocolate", "coral", "cornflower", "cornsilk",
+    "cream", "cyan", "dark", "deep", "dim", "dodger", "drab", "firebrick",
+    "floral", "forest", "frosted", "gainsboro", "ghost", "goldenrod",
+    "green", "grey", "honeydew", "hot", "hotpink", "indian", "ivory",
+    "khaki", "lace", "lavender", "lawn", "lemon", "light", "lime", "linen",
+]
+COMMENT_WORDS = [
+    "carefully", "quickly", "furiously", "deposits", "packages", "accounts",
+    "instructions", "foxes", "ideas", "theodolites", "pinto", "beans",
+    "requests", "platelets", "excuses", "asymptotes", "somas", "dolphins",
+]
+
+ORDER_DATE_MIN = d(1992, 1, 1)
+ORDER_DATE_MAX = d(1998, 8, 2)
+
+
+class TpchGenerator:
+    """Generates TPC-H tables deterministically for a scale factor."""
+
+    def __init__(self, scale_factor: float = 0.01, seed: int = 7) -> None:
+        if scale_factor <= 0:
+            raise ValueError(f"scale factor must be positive, got {scale_factor}")
+        self.scale_factor = scale_factor
+        self._rng = DeterministicRng(seed, f"tpch/{scale_factor}")
+        self.supplier_count = max(10, int(10_000 * scale_factor))
+        self.part_count = max(20, int(200_000 * scale_factor))
+        self.customer_count = max(30, int(150_000 * scale_factor))
+        self.order_count = max(100, int(1_500_000 * scale_factor))
+
+    # ------------------------------------------------------------------ #
+    # helpers
+    # ------------------------------------------------------------------ #
+
+    def _comment(self, rng: DeterministicRng, special: float = 0.0) -> str:
+        words = [rng.choice(COMMENT_WORDS) for __ in range(rng.randint(3, 6))]
+        if special and rng.random() < special:
+            # Q13 greps for '%special%requests%'.
+            words.insert(rng.randint(0, len(words)), "special")
+            words.append("requests")
+        return " ".join(words)
+
+    def _supplier_comment(self, rng: DeterministicRng) -> str:
+        words = [rng.choice(COMMENT_WORDS) for __ in range(rng.randint(3, 6))]
+        if rng.random() < 0.005:
+            # Q16 greps for '%Customer%Complaints%'.
+            words.append("Customer")
+            words.append("Complaints")
+        return " ".join(words)
+
+    @staticmethod
+    def _phone(rng: DeterministicRng, nationkey: int) -> str:
+        return (
+            f"{10 + nationkey}-{rng.randint(100, 999)}-"
+            f"{rng.randint(100, 999)}-{rng.randint(1000, 9999)}"
+        )
+
+    @staticmethod
+    def _retail_price(partkey: int) -> float:
+        return (90000 + ((partkey // 10) % 20001) + 100 * (partkey % 1000)) / 100.0
+
+    # ------------------------------------------------------------------ #
+    # tables (tuples in schema column order)
+    # ------------------------------------------------------------------ #
+
+    def region(self) -> "List[Tuple[object, ...]]":
+        rng = self._rng.substream("region")
+        return [
+            (i, name, self._comment(rng)) for i, name in enumerate(REGIONS)
+        ]
+
+    def nation(self) -> "List[Tuple[object, ...]]":
+        return [
+            (i, name, region) for i, (name, region) in enumerate(NATIONS)
+        ]
+
+    def supplier(self) -> "List[Tuple[object, ...]]":
+        rng = self._rng.substream("supplier")
+        rows = []
+        for suppkey in range(1, self.supplier_count + 1):
+            nationkey = rng.randint(0, 24)
+            rows.append(
+                (
+                    suppkey,
+                    f"Supplier#{suppkey:09d}",
+                    f"addr-{rng.randint(1, 10 ** 6)}",
+                    nationkey,
+                    self._phone(rng, nationkey),
+                    round(rng.uniform(-999.99, 9999.99), 2),
+                    self._supplier_comment(rng),
+                )
+            )
+        return rows
+
+    def customer(self) -> "List[Tuple[object, ...]]":
+        rng = self._rng.substream("customer")
+        rows = []
+        for custkey in range(1, self.customer_count + 1):
+            nationkey = rng.randint(0, 24)
+            rows.append(
+                (
+                    custkey,
+                    f"Customer#{custkey:09d}",
+                    f"addr-{rng.randint(1, 10 ** 6)}",
+                    nationkey,
+                    self._phone(rng, nationkey),
+                    round(rng.uniform(-999.99, 9999.99), 2),
+                    rng.choice(SEGMENTS),
+                    self._comment(rng, special=0.01),
+                )
+            )
+        return rows
+
+    def part(self) -> "List[Tuple[object, ...]]":
+        rng = self._rng.substream("part")
+        rows = []
+        for partkey in range(1, self.part_count + 1):
+            name = " ".join(rng.sample(NAME_WORDS, 5))
+            mfgr = f"Manufacturer#{rng.randint(1, 5)}"
+            brand = f"Brand#{mfgr[-1]}{rng.randint(1, 5)}"
+            p_type = (
+                f"{rng.choice(TYPES_1)} {rng.choice(TYPES_2)} "
+                f"{rng.choice(TYPES_3)}"
+            )
+            container = f"{rng.choice(CONTAINERS_1)} {rng.choice(CONTAINERS_2)}"
+            rows.append(
+                (
+                    partkey,
+                    name,
+                    mfgr,
+                    brand,
+                    p_type,
+                    rng.randint(1, 50),
+                    container,
+                    self._retail_price(partkey),
+                )
+            )
+        return rows
+
+    def partsupp(self) -> "List[Tuple[object, ...]]":
+        rng = self._rng.substream("partsupp")
+        rows = []
+        for partkey in range(1, self.part_count + 1):
+            for i in range(4):
+                suppkey = (
+                    (partkey + (i * ((self.supplier_count // 4) + 1)))
+                    % self.supplier_count
+                ) + 1
+                rows.append(
+                    (
+                        partkey,
+                        suppkey,
+                        rng.randint(1, 9999),
+                        round(rng.uniform(1.0, 1000.0), 2),
+                    )
+                )
+        return rows
+
+    def orders_and_lineitems(
+        self,
+    ) -> "Tuple[List[Tuple[object, ...]], List[Tuple[object, ...]]]":
+        rng = self._rng.substream("orders")
+        orders: "List[Tuple[object, ...]]" = []
+        lineitems: "List[Tuple[object, ...]]" = []
+        for index in range(1, self.order_count + 1):
+            # dbgen leaves gaps in the orderkey space; keep the flavour.
+            orderkey = index * 4 - rng.randint(0, 2)
+            custkey = rng.randint(1, self.customer_count)
+            orderdate = rng.randint(ORDER_DATE_MIN, ORDER_DATE_MAX)
+            line_count = rng.randint(1, 7)
+            total = 0.0
+            statuses = []
+            for line_no in range(1, line_count + 1):
+                partkey = rng.randint(1, self.part_count)
+                suppkey = rng.randint(1, self.supplier_count)
+                quantity = float(rng.randint(1, 50))
+                extended = round(quantity * self._retail_price(partkey) / 10, 2)
+                discount = rng.randint(0, 10) / 100.0
+                tax = rng.randint(0, 8) / 100.0
+                shipdate = orderdate + rng.randint(1, 121)
+                commitdate = orderdate + rng.randint(30, 90)
+                receiptdate = shipdate + rng.randint(1, 30)
+                linestatus = "F" if shipdate <= CURRENT_DATE else "O"
+                if receiptdate <= CURRENT_DATE:
+                    returnflag = rng.choice(["R", "A"])
+                else:
+                    returnflag = "N"
+                statuses.append(linestatus)
+                total += extended * (1 + tax) * (1 - discount)
+                lineitems.append(
+                    (
+                        orderkey,
+                        partkey,
+                        suppkey,
+                        line_no,
+                        quantity,
+                        extended,
+                        discount,
+                        tax,
+                        returnflag,
+                        linestatus,
+                        shipdate,
+                        commitdate,
+                        receiptdate,
+                        rng.choice(SHIP_INSTRUCTIONS),
+                        rng.choice(SHIP_MODES),
+                    )
+                )
+            if all(s == "F" for s in statuses):
+                status = "F"
+            elif all(s == "O" for s in statuses):
+                status = "O"
+            else:
+                status = "P"
+            orders.append(
+                (
+                    orderkey,
+                    custkey,
+                    status,
+                    round(total, 2),
+                    orderdate,
+                    rng.choice(PRIORITIES),
+                    0,
+                    self._comment(rng, special=0.01),
+                )
+            )
+        return orders, lineitems
+
+    def all_tables(self) -> "Dict[str, List[Tuple[object, ...]]]":
+        """Every table, keyed by name (orders/lineitem generated together)."""
+        orders, lineitems = self.orders_and_lineitems()
+        return {
+            "region": self.region(),
+            "nation": self.nation(),
+            "supplier": self.supplier(),
+            "customer": self.customer(),
+            "part": self.part(),
+            "partsupp": self.partsupp(),
+            "orders": orders,
+            "lineitem": lineitems,
+        }

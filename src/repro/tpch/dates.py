@@ -1,0 +1,24 @@
+"""Date handling: TPC-H dates are stored as proleptic ordinal integers."""
+
+from __future__ import annotations
+
+import datetime
+
+DATE_MIN = datetime.date(1992, 1, 1).toordinal()
+DATE_MAX = datetime.date(1998, 12, 31).toordinal()
+CURRENT_DATE = datetime.date(1995, 6, 17).toordinal()  # dbgen's "today"
+
+
+def d(year: int, month: int, day: int) -> int:
+    """Ordinal of a calendar date (comparable ints, day arithmetic works)."""
+    return datetime.date(year, month, day).toordinal()
+
+
+def year_of(ordinal: int) -> int:
+    """Calendar year of an ordinal date (used by the per-year queries)."""
+    return datetime.date.fromordinal(ordinal).year
+
+
+def iso(ordinal: int) -> str:
+    """ISO string for reports."""
+    return datetime.date.fromordinal(ordinal).isoformat()

@@ -1,0 +1,139 @@
+"""TPC-H table schemas with the paper's partitioning and HG indexes.
+
+High-Group indexes are created on exactly the columns the paper lists:
+o_custkey, n_regionkey, s_nationkey, c_nationkey, ps_suppkey, ps_partkey
+and l_orderkey.  Large tables are range-partitioned on their primary key.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.columnar.schema import ColumnSchema as C
+from repro.columnar.schema import TableSchema
+
+
+def _schemas(partitions: int, rows_per_page: int) -> "Dict[str, TableSchema]":
+    return {
+        "region": TableSchema(
+            "region",
+            (C("r_regionkey", "int"), C("r_name", "str"), C("r_comment", "str")),
+            rows_per_page=rows_per_page,
+        ),
+        "nation": TableSchema(
+            "nation",
+            (
+                C("n_nationkey", "int"),
+                C("n_name", "str"),
+                C("n_regionkey", "int", hg_index=True),
+            ),
+            rows_per_page=rows_per_page,
+        ),
+        "supplier": TableSchema(
+            "supplier",
+            (
+                C("s_suppkey", "int"),
+                C("s_name", "str"),
+                C("s_address", "str"),
+                C("s_nationkey", "int", hg_index=True),
+                C("s_phone", "str"),
+                C("s_acctbal", "float"),
+                C("s_comment", "str"),
+            ),
+            partition_column="s_suppkey",
+            partition_count=max(1, partitions // 2),
+            rows_per_page=rows_per_page,
+        ),
+        "customer": TableSchema(
+            "customer",
+            (
+                C("c_custkey", "int"),
+                C("c_name", "str"),
+                C("c_address", "str"),
+                C("c_nationkey", "int", hg_index=True),
+                C("c_phone", "str"),
+                C("c_acctbal", "float"),
+                C("c_mktsegment", "str"),
+                C("c_comment", "str"),
+            ),
+            partition_column="c_custkey",
+            partition_count=partitions,
+            rows_per_page=rows_per_page,
+        ),
+        "part": TableSchema(
+            "part",
+            (
+                C("p_partkey", "int"),
+                C("p_name", "str"),
+                C("p_mfgr", "str"),
+                C("p_brand", "str"),
+                C("p_type", "str"),
+                C("p_size", "int"),
+                C("p_container", "str"),
+                C("p_retailprice", "float"),
+            ),
+            partition_column="p_partkey",
+            partition_count=partitions,
+            rows_per_page=rows_per_page,
+        ),
+        "partsupp": TableSchema(
+            "partsupp",
+            (
+                C("ps_partkey", "int", hg_index=True),
+                C("ps_suppkey", "int", hg_index=True),
+                C("ps_availqty", "int"),
+                C("ps_supplycost", "float"),
+            ),
+            partition_column="ps_partkey",
+            partition_count=partitions,
+            rows_per_page=rows_per_page,
+        ),
+        "orders": TableSchema(
+            "orders",
+            (
+                C("o_orderkey", "int"),
+                C("o_custkey", "int", hg_index=True),
+                C("o_orderstatus", "str"),
+                C("o_totalprice", "float"),
+                C("o_orderdate", "date"),
+                C("o_orderpriority", "str"),
+                C("o_shippriority", "int"),
+                C("o_comment", "str"),
+            ),
+            partition_column="o_orderkey",
+            partition_count=partitions,
+            rows_per_page=rows_per_page,
+        ),
+        "lineitem": TableSchema(
+            "lineitem",
+            (
+                C("l_orderkey", "int", hg_index=True),
+                C("l_partkey", "int"),
+                C("l_suppkey", "int"),
+                C("l_linenumber", "int"),
+                C("l_quantity", "float"),
+                C("l_extendedprice", "float"),
+                C("l_discount", "float"),
+                C("l_tax", "float"),
+                C("l_returnflag", "str"),
+                C("l_linestatus", "str"),
+                C("l_shipdate", "date"),
+                C("l_commitdate", "date"),
+                C("l_receiptdate", "date"),
+                C("l_shipinstruct", "str"),
+                C("l_shipmode", "str"),
+            ),
+            partition_column="l_orderkey",
+            partition_count=partitions,
+            rows_per_page=rows_per_page,
+        ),
+    }
+
+
+TPCH_SCHEMAS = _schemas(partitions=4, rows_per_page=2048)
+
+
+def tpch_schema(partitions: int = 4,
+                rows_per_page: int = 2048) -> "Dict[str, TableSchema]":
+    """Schemas with custom partitioning/page fill (benchmark knobs)."""
+    return _schemas(partitions, rows_per_page)

@@ -1,0 +1,60 @@
+"""Property tests: locator bitmaps and active sets."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.bitmaps import LocatorBitmap
+from repro.core.keygen import ActiveSet
+from repro.storage.locator import OBJECT_KEY_BASE
+
+keys = st.integers(min_value=OBJECT_KEY_BASE, max_value=OBJECT_KEY_BASE + 5000)
+
+
+@given(st.lists(keys, max_size=200))
+def test_bitmap_serialization_roundtrip(locators):
+    bitmap = LocatorBitmap(locators)
+    restored = LocatorBitmap.from_bytes(bitmap.to_bytes())
+    assert sorted(restored) == sorted(set(locators))
+
+
+@given(st.lists(keys, max_size=200))
+def test_ranges_cover_exactly_the_members(locators):
+    bitmap = LocatorBitmap(locators)
+    covered = set()
+    for lo, hi in bitmap.cloud_key_ranges():
+        assert lo <= hi
+        covered.update(range(lo, hi + 1))
+    assert covered == set(locators)
+
+
+@given(st.lists(st.tuples(st.integers(0, 1000), st.integers(0, 100)),
+                max_size=30),
+       st.lists(st.tuples(st.integers(0, 1000), st.integers(0, 100)),
+                max_size=30))
+def test_active_set_add_remove_model(adds, removes):
+    """The active set behaves like a plain set of integers."""
+    active = ActiveSet()
+    model = set()
+    for lo, width in adds:
+        active.add(lo, lo + width)
+        model.update(range(lo, lo + width + 1))
+    for lo, width in removes:
+        active.remove(lo, lo + width)
+        model.difference_update(range(lo, lo + width + 1))
+    covered = set()
+    for lo, hi in active.intervals():
+        assert lo <= hi
+        covered.update(range(lo, hi + 1))
+    assert covered == model
+    assert active.key_count() == len(model)
+
+
+@given(st.lists(st.tuples(st.integers(0, 500), st.integers(0, 50)),
+                min_size=1, max_size=20))
+def test_active_set_intervals_normalized(adds):
+    active = ActiveSet()
+    for lo, width in adds:
+        active.add(lo, lo + width)
+    intervals = active.intervals()
+    for (lo1, hi1), (lo2, hi2) in zip(intervals, intervals[1:]):
+        assert hi1 + 1 < lo2  # disjoint and non-adjacent (merged)

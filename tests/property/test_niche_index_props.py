@@ -1,0 +1,85 @@
+"""Property tests: niche indexes agree with brute-force evaluation."""
+
+import datetime
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.columnar.niche import CmpIndex, DateIndex, TextIndex
+
+ordinals = st.integers(
+    min_value=datetime.date(1992, 1, 1).toordinal(),
+    max_value=datetime.date(1998, 12, 31).toordinal(),
+)
+
+
+@given(st.lists(ordinals, max_size=200), st.integers(1992, 1998),
+       st.integers(1, 12))
+def test_date_index_matches_bruteforce(values, year, month):
+    index = DateIndex()
+    index.add_rows(values, first_row_id=0)
+    expected = [
+        i for i, ordinal in enumerate(values)
+        if datetime.date.fromordinal(ordinal).year == year
+        and datetime.date.fromordinal(ordinal).month == month
+    ]
+    assert index.lookup_month(year, month) == expected
+    expected_year = [
+        i for i, ordinal in enumerate(values)
+        if datetime.date.fromordinal(ordinal).year == year
+    ]
+    assert index.lookup_year(year) == expected_year
+
+
+@given(st.lists(ordinals, max_size=200))
+def test_date_index_serialization(values):
+    index = DateIndex()
+    index.add_rows(values, first_row_id=10)
+    restored = DateIndex.from_bytes(index.to_bytes())
+    assert restored.month_counts() == index.month_counts()
+
+
+@given(st.lists(st.tuples(st.integers(0, 50), st.integers(0, 50)),
+                max_size=200))
+def test_cmp_index_partitions_rows(pairs):
+    index = CmpIndex()
+    index.add_rows([a for a, __ in pairs], [b for __, b in pairs],
+                   first_row_id=0)
+    lt = set(index.lookup("lt"))
+    eq = set(index.lookup("eq"))
+    gt = set(index.lookup("gt"))
+    # A partition: disjoint and complete.
+    assert lt | eq | gt == set(range(len(pairs)))
+    assert not (lt & eq or lt & gt or eq & gt)
+    for i, (a, b) in enumerate(pairs):
+        member = lt if a < b else (eq if a == b else gt)
+        assert i in member
+    # Composite relations are exact unions.
+    assert set(index.lookup("le")) == lt | eq
+    assert set(index.lookup("ge")) == gt | eq
+    assert set(index.lookup("ne")) == lt | gt
+
+
+words = st.text(alphabet="abcdef ", min_size=0, max_size=30)
+
+
+@given(st.lists(words, max_size=100), st.sampled_from("abcdef"))
+def test_text_index_matches_bruteforce(texts, letter):
+    index = TextIndex()
+    index.add_rows(texts, first_row_id=0)
+    # Single-letter "words" only count when tokenized as standalone words.
+    expected = [
+        i for i, text in enumerate(texts)
+        if letter in TextIndex.tokenize(text)
+    ]
+    assert index.lookup(letter) == expected
+
+
+@given(st.lists(words, max_size=100))
+def test_text_index_serialization(texts):
+    index = TextIndex()
+    index.add_rows(texts, first_row_id=0)
+    restored = TextIndex.from_bytes(index.to_bytes())
+    assert restored.vocabulary_size == index.vocabulary_size
+    for word in ("a", "abc", "f"):
+        assert restored.lookup(word) == index.lookup(word)

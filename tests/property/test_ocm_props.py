@@ -1,0 +1,101 @@
+"""Property tests: the OCM behaves like a correct cache.
+
+Model-based testing: whatever interleaving of reads, write-backs,
+write-throughs, commits and rollbacks happens, the OCM must return the
+bytes a plain dict-model would, commits must make every written object
+durable, and rollbacks must leave nothing behind.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.blockstore.profiles import nvme_ssd
+from repro.core.ocm import ObjectCacheManager, OcmConfig
+from repro.objectstore import RetryingObjectClient, SimulatedObjectStore
+from repro.objectstore.consistency import STRONG
+from repro.objectstore.s3sim import ObjectStoreProfile
+from repro.sim.clock import VirtualClock
+
+
+def make_ocm(capacity):
+    profile = ObjectStoreProfile(name="s3", consistency=STRONG,
+                                 transient_failure_probability=0.0,
+                                 latency_jitter=0.0)
+    store = SimulatedObjectStore(profile, clock=VirtualClock())
+    return ObjectCacheManager(
+        RetryingObjectClient(store), nvme_ssd(),
+        OcmConfig(capacity_bytes=capacity),
+    ), store
+
+
+@st.composite
+def ocm_script(draw):
+    steps = draw(st.lists(
+        st.one_of(
+            st.tuples(st.just("write"), st.integers(0, 15),
+                      st.integers(1, 3), st.booleans()),
+            st.tuples(st.just("read"), st.integers(0, 15), st.just(0),
+                      st.just(False)),
+            st.tuples(st.just("commit"), st.integers(1, 3), st.just(0),
+                      st.just(False)),
+            st.tuples(st.just("rollback"), st.integers(1, 3), st.just(0),
+                      st.just(False)),
+        ),
+        max_size=50,
+    ))
+    return steps
+
+
+@given(ocm_script(), st.sampled_from([4096, 1 << 20]))
+@settings(max_examples=50, deadline=None)
+def test_ocm_matches_dict_model(script, capacity):
+    ocm, store = make_ocm(capacity)
+    model = {}          # name -> latest bytes handed to the OCM
+    open_txns = {}      # txn -> names written back and not yet resolved
+    serial = 0
+    for action, arg, txn, through in script:
+        if action == "write":
+            serial += 1
+            # Fresh key per write: never-write-twice discipline.
+            name = f"k/{arg}-{serial}"
+            data = bytes([serial % 251]) * 64
+            ocm.put(name, data, txn_id=txn, commit_mode=through)
+            model[name] = data
+            if not through:
+                open_txns.setdefault(txn, []).append(name)
+        elif action == "read":
+            for name in [n for n in model if n.startswith(f"k/{arg}-")]:
+                assert ocm.get(name) == model[name]
+        elif action == "commit":
+            ocm.flush_for_commit(txn)
+            for name in open_txns.pop(txn, []):
+                assert store.latest_data(name) == model[name]
+        elif action == "rollback":
+            ocm.discard_txn(txn)
+            for name in open_txns.pop(txn, []):
+                # Never uploaded, never readable again through the store.
+                assert store.latest_data(name) is None
+                model.pop(name, None)
+    # Post-quiescence: everything still in the model reads back correctly.
+    ocm.drain_all()
+    for name, data in model.items():
+        assert ocm.get(name) == data
+
+
+@given(ocm_script())
+@settings(max_examples=30, deadline=None)
+def test_ocm_capacity_respected_after_drain(script):
+    ocm, __ = make_ocm(capacity=2048)
+    serial = 0
+    for action, arg, txn, through in script:
+        if action == "write":
+            serial += 1
+            ocm.put(f"k/{arg}-{serial}", b"v" * 64, txn_id=txn,
+                    commit_mode=through)
+        elif action == "commit":
+            ocm.flush_for_commit(txn)
+        elif action == "rollback":
+            ocm.discard_txn(txn)
+    ocm.drain_all()
+    # Once nothing is pinned by pending uploads, LRU holds the line.
+    assert ocm.used_bytes <= 2048 or ocm.entry_count() <= 1

@@ -1,0 +1,70 @@
+"""Unit tests for RF/RB locator bitmaps."""
+
+import pytest
+
+from repro.core.bitmaps import LocatorBitmap
+from repro.storage.locator import OBJECT_KEY_BASE, make_block_locator
+
+
+def test_add_and_membership():
+    bitmap = LocatorBitmap()
+    bitmap.add(OBJECT_KEY_BASE + 5)
+    assert OBJECT_KEY_BASE + 5 in bitmap
+    assert len(bitmap) == 1
+
+
+def test_mixed_kinds_separated():
+    bitmap = LocatorBitmap()
+    block = make_block_locator(10, 2)
+    bitmap.add(block)
+    bitmap.add(OBJECT_KEY_BASE + 1)
+    assert bitmap.cloud_keys() == [OBJECT_KEY_BASE + 1]
+    assert bitmap.block_locators() == [block]
+
+
+def test_range_compression_of_monotonic_keys():
+    """Monotonic allocation makes RF/RB ranges long (Section 3.2's point)."""
+    bitmap = LocatorBitmap()
+    for key in range(OBJECT_KEY_BASE + 10, OBJECT_KEY_BASE + 110):
+        bitmap.add(key)
+    bitmap.add(OBJECT_KEY_BASE + 500)
+    assert bitmap.cloud_key_ranges() == [
+        (OBJECT_KEY_BASE + 10, OBJECT_KEY_BASE + 109),
+        (OBJECT_KEY_BASE + 500, OBJECT_KEY_BASE + 500),
+    ]
+
+
+def test_add_range():
+    bitmap = LocatorBitmap()
+    bitmap.add_range(OBJECT_KEY_BASE + 1, OBJECT_KEY_BASE + 5)
+    assert len(bitmap) == 5
+    with pytest.raises(ValueError):
+        bitmap.add_range(OBJECT_KEY_BASE + 5, OBJECT_KEY_BASE + 1)
+
+
+def test_serialization_roundtrip():
+    bitmap = LocatorBitmap()
+    bitmap.add(make_block_locator(3, 4))
+    bitmap.add_range(OBJECT_KEY_BASE + 7, OBJECT_KEY_BASE + 20)
+    restored = LocatorBitmap.from_bytes(bitmap.to_bytes())
+    assert sorted(restored) == sorted(bitmap)
+
+
+def test_union_and_discard():
+    a = LocatorBitmap([OBJECT_KEY_BASE + 1])
+    b = LocatorBitmap([OBJECT_KEY_BASE + 2])
+    merged = a.union(b)
+    assert len(merged) == 2
+    merged.discard(OBJECT_KEY_BASE + 1)
+    merged.discard(OBJECT_KEY_BASE + 99)  # absent: no error
+    assert len(merged) == 1
+
+
+def test_iteration_sorted():
+    bitmap = LocatorBitmap([OBJECT_KEY_BASE + 3, OBJECT_KEY_BASE + 1])
+    assert list(bitmap) == [OBJECT_KEY_BASE + 1, OBJECT_KEY_BASE + 3]
+
+
+def test_truthiness():
+    assert not LocatorBitmap()
+    assert LocatorBitmap([OBJECT_KEY_BASE + 1])

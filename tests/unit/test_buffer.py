@@ -1,0 +1,215 @@
+"""Unit tests for the buffer manager (Section 3.1)."""
+
+import pytest
+
+from repro.core.buffer import BufferError, BufferManager, ObjectHandle
+from repro.core.txn import Transaction
+from repro.objectstore import RetryingObjectClient, SimulatedObjectStore
+from repro.objectstore.consistency import STRONG
+from repro.objectstore.s3sim import ObjectStoreProfile
+from repro.sim.clock import VirtualClock
+from repro.storage.blockmap import Blockmap
+from repro.storage.dbspace import CloudDbspace, DirectObjectIO
+from repro.storage.locator import NULL_LOCATOR, OBJECT_KEY_BASE
+from repro.storage.page import PageConfig
+
+
+class CounterKeys:
+    def __init__(self):
+        self.next = OBJECT_KEY_BASE
+
+    def next_key(self):
+        self.next += 1
+        return self.next
+
+
+class FakeNode:
+    node_id = "test"
+
+
+def make_env(capacity=1 << 20, page_size=16 * 1024):
+    clock = VirtualClock()
+    profile = ObjectStoreProfile(name="s3", consistency=STRONG,
+                                 transient_failure_probability=0.0)
+    store = SimulatedObjectStore(profile, clock=clock)
+    dbspace = CloudDbspace("user", DirectObjectIO(RetryingObjectClient(store)),
+                           CounterKeys())
+    buffer = BufferManager(capacity, PageConfig(page_size))
+    return buffer, dbspace, store
+
+
+def make_txn(txn_id=1):
+    return Transaction(txn_id, FakeNode(), begin_seq=0, snapshot={})
+
+
+def make_handle(dbspace, txn=None, version=0, blockmap=None):
+    writable = txn is not None
+    return ObjectHandle(
+        object_id=1,
+        name="t",
+        dbspace=dbspace,
+        blockmap=blockmap or Blockmap(dbspace, fanout=8),
+        version=version,
+        page_count=0,
+        writable=writable,
+        txn=txn,
+    )
+
+
+def test_write_then_read_back():
+    buffer, dbspace, __ = make_env()
+    txn = make_txn()
+    handle = make_handle(dbspace, txn)
+    buffer.write_page(handle, 0, b"page zero")
+    assert buffer.get_page(handle, 0) == b"page zero"
+    assert handle.page_count == 1
+
+
+def test_read_miss_loads_from_storage():
+    buffer, dbspace, __ = make_env()
+    txn = make_txn()
+    handle = make_handle(dbspace, txn)
+    buffer.write_page(handle, 0, b"persisted")
+    buffer.flush_txn(txn.txn_id)
+    buffer.invalidate_all()
+    # A read handle at the (virtual) committed version.
+    reader = make_handle(dbspace, None, version=0, blockmap=handle.blockmap)
+    assert buffer.get_page(reader, 0) == b"persisted"
+    assert buffer.metrics.snapshot()["misses"] == 1
+
+
+def test_missing_page_raises():
+    buffer, dbspace, __ = make_env()
+    reader = make_handle(dbspace)
+    with pytest.raises(BufferError):
+        buffer.get_page(reader, 42)
+
+
+def test_write_requires_writable_handle():
+    buffer, dbspace, __ = make_env()
+    reader = make_handle(dbspace)
+    with pytest.raises(BufferError):
+        buffer.write_page(reader, 0, b"x")
+
+
+def test_oversized_page_rejected():
+    buffer, dbspace, __ = make_env(page_size=16 * 1024)
+    txn = make_txn()
+    handle = make_handle(dbspace, txn)
+    with pytest.raises(BufferError):
+        buffer.write_page(handle, 0, b"x" * (16 * 1024 + 1))
+
+
+def test_flush_uses_fresh_keys_per_flush():
+    """Never-write-twice: two flushes of one page use two keys."""
+    buffer, dbspace, store = make_env()
+    txn = make_txn()
+    handle = make_handle(dbspace, txn)
+    buffer.write_page(handle, 0, b"v1")
+    buffer.flush_txn(txn.txn_id)
+    first_key = handle.blockmap.lookup(0)
+    buffer.write_page(handle, 0, b"v2")
+    buffer.flush_txn(txn.txn_id)
+    second_key = handle.blockmap.lookup(0)
+    assert first_key != second_key
+    assert store.metrics.snapshot().get("overwrites", 0) == 0
+
+
+def test_flush_records_rb_and_local_garbage():
+    buffer, dbspace, __ = make_env()
+    txn = make_txn()
+    handle = make_handle(dbspace, txn)
+    buffer.write_page(handle, 0, b"v1")
+    buffer.flush_txn(txn.txn_id)
+    assert len(txn.rb_for("user")) == 1
+    buffer.write_page(handle, 0, b"v2")
+    buffer.flush_txn(txn.txn_id)
+    # The first key was superseded by the same transaction: local garbage.
+    assert txn.local_garbage["user"]
+    assert len(txn.rb_for("user")) == 1
+
+
+def test_eviction_flushes_dirty_pages():
+    buffer, dbspace, __ = make_env(capacity=8 * 1024)
+    txn = make_txn()
+    handle = make_handle(dbspace, txn)
+    for page in range(10):
+        buffer.write_page(handle, page, b"x" * 2048)
+    assert buffer.metrics.snapshot().get("evictions", 0) > 0
+    # Evicted dirty pages were flushed and are re-readable.
+    for page in range(10):
+        assert buffer.get_page(handle, page) == b"x" * 2048
+
+
+def test_eviction_respects_capacity():
+    buffer, dbspace, __ = make_env(capacity=8 * 1024)
+    txn = make_txn()
+    handle = make_handle(dbspace, txn)
+    for page in range(50):
+        buffer.write_page(handle, page, b"y" * 1024)
+    assert buffer.used_bytes <= 8 * 1024
+
+
+def test_promote_txn_frames():
+    buffer, dbspace, __ = make_env()
+    txn = make_txn()
+    handle = make_handle(dbspace, txn)
+    buffer.write_page(handle, 0, b"committed soon")
+    buffer.flush_txn(txn.txn_id)
+    buffer.promote_txn_frames(txn.txn_id, {1: 1})
+    reader = make_handle(dbspace, None, version=1, blockmap=handle.blockmap)
+    assert buffer.get_page(reader, 0) == b"committed soon"
+    assert buffer.metrics.snapshot()["hits"] >= 1
+
+
+def test_promote_refuses_dirty_frames():
+    buffer, dbspace, __ = make_env()
+    txn = make_txn()
+    handle = make_handle(dbspace, txn)
+    buffer.write_page(handle, 0, b"dirty")
+    with pytest.raises(BufferError):
+        buffer.promote_txn_frames(txn.txn_id, {1: 1})
+
+
+def test_drop_txn_frames():
+    buffer, dbspace, __ = make_env()
+    txn = make_txn()
+    handle = make_handle(dbspace, txn)
+    buffer.write_page(handle, 0, b"doomed")
+    dropped = buffer.drop_txn_frames(txn.txn_id)
+    assert dropped == 1
+    assert buffer.frame_count() == 0
+
+
+def test_prefetch_brings_pages_in():
+    buffer, dbspace, __ = make_env()
+    txn = make_txn()
+    handle = make_handle(dbspace, txn)
+    for page in range(8):
+        buffer.write_page(handle, page, b"p%d" % page)
+    buffer.flush_txn(txn.txn_id)
+    buffer.invalidate_all()
+    reader = make_handle(dbspace, None, version=0, blockmap=handle.blockmap)
+    assert buffer.prefetch(reader, range(8)) == 8
+    hits_before = buffer.metrics.snapshot().get("hits", 0)
+    for page in range(8):
+        buffer.get_page(reader, page)
+    assert buffer.metrics.snapshot()["hits"] == hits_before + 8
+
+
+def test_prefetch_skips_cached_and_unmapped():
+    buffer, dbspace, __ = make_env()
+    txn = make_txn()
+    handle = make_handle(dbspace, txn)
+    buffer.write_page(handle, 0, b"zero")
+    buffer.flush_txn(txn.txn_id)
+    reader = make_handle(dbspace, None, version=0, blockmap=handle.blockmap)
+    # Page 0 is cached (promoted frame lives under the working tag, so
+    # read it once), page 99 unmapped.
+    buffer.get_page(reader, 0)
+    assert buffer.prefetch(reader, [0, 99]) == 0
+
+
+def test_capacity_validation():
+    with pytest.raises(BufferError):
+        BufferManager(0)

@@ -1,0 +1,36 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_quickstart(capsys):
+    assert main(["quickstart"]) == 0
+    out = capsys.readouterr().out
+    assert "loaded 5000 rows" in out
+    assert "sum(v) = 22500" in out
+
+
+def test_tpch_subset(capsys):
+    assert main(["tpch", "--scale-factor", "0.002", "--queries", "6"]) == 0
+    out = capsys.readouterr().out
+    assert "Q6" in out
+    assert "geomean" in out
+
+
+def test_table1(capsys):
+    assert main(["table1"]) == 0
+    out = capsys.readouterr().out
+    assert "Coordinator recovers" in out
+    assert "(empty)" in out
+
+
+def test_parser_rejects_unknown_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["frobnicate"])
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])

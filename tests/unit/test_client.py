@@ -1,0 +1,136 @@
+"""Unit tests for the retrying object client (read-after-write machinery)."""
+
+import pytest
+
+from repro.objectstore import (
+    ConsistencyModel,
+    OverwriteForbiddenError,
+    RetriesExhaustedError,
+    RetryingObjectClient,
+    RetryPolicy,
+    SimulatedObjectStore,
+    STRONG,
+)
+from repro.objectstore.s3sim import ObjectStoreProfile
+from repro.sim.clock import VirtualClock
+from repro.sim.rng import DeterministicRng
+
+
+def make_client(consistency=STRONG, failure_probability=0.0,
+                policy=None, enforce=True):
+    profile = ObjectStoreProfile(
+        name="s3",
+        consistency=consistency,
+        transient_failure_probability=failure_probability,
+        latency_jitter=0.0,
+    )
+    store = SimulatedObjectStore(profile, clock=VirtualClock(),
+                                 rng=DeterministicRng(3))
+    return RetryingObjectClient(
+        store, policy=policy or RetryPolicy(), enforce_unique_keys=enforce
+    )
+
+
+def test_put_get_roundtrip():
+    client = make_client()
+    client.put("a/1", b"payload")
+    assert client.get("a/1") == b"payload"
+
+
+def test_never_write_twice_enforced():
+    client = make_client()
+    client.put("a/1", b"x")
+    with pytest.raises(OverwriteForbiddenError):
+        client.put("a/1", b"y")
+    assert client.was_written("a/1")
+
+
+def test_overwrite_allowed_when_disabled():
+    client = make_client(enforce=False)
+    client.put("a/1", b"x")
+    client.put("a/1", b"y")  # ablation mode: update in place
+
+
+def test_read_retries_until_visible():
+    """Eventual consistency turns into read-after-write via retries."""
+    lagging = ConsistencyModel(invisible_probability=1.0,
+                               mean_lag_seconds=0.02)
+    client = make_client(consistency=lagging)
+    client.put("a/1", b"x")
+    assert client.get("a/1") == b"x"
+    assert client.metrics.snapshot().get("not_found_retries", 0) >= 1
+
+
+def test_read_gives_up_after_budget():
+    lagging = ConsistencyModel(invisible_probability=1.0,
+                               mean_lag_seconds=10_000.0)
+    client = make_client(
+        consistency=lagging,
+        policy=RetryPolicy(max_attempts=3, initial_backoff=0.001,
+                           max_backoff=0.001),
+    )
+    client.put("a/1", b"x")
+    with pytest.raises(RetriesExhaustedError):
+        client.get("a/1")
+
+
+def test_missing_key_eventually_raises():
+    client = make_client(
+        policy=RetryPolicy(max_attempts=2, initial_backoff=0.001)
+    )
+    with pytest.raises(RetriesExhaustedError):
+        client.get("never/written")
+
+
+def test_transient_put_failures_are_retried():
+    client = make_client(failure_probability=0.3)
+    for i in range(50):
+        client.put(f"a/{i}", b"x")
+    assert client.metrics.snapshot().get("put_retries", 0) > 0
+    for i in range(50):
+        assert client.get(f"a/{i}") == b"x"
+
+
+def test_get_many_returns_all():
+    client = make_client()
+    items = [(f"k/{i}", bytes([i])) for i in range(20)]
+    client.put_many(items)
+    result = client.get_many([key for key, __ in items])
+    assert result == dict(items)
+
+
+def test_get_many_parallelism_beats_serial():
+    serial = make_client()
+    for i in range(64):
+        serial.put(f"k/{i}", b"x" * 100)
+    serial_start = serial.clock.now()
+    for i in range(64):
+        serial.get(f"k/{i}")
+    serial_elapsed = serial.clock.now() - serial_start
+
+    parallel = make_client()
+    parallel.put_many([(f"k/{i}", b"x" * 100) for i in range(64)])
+    parallel_start = parallel.clock.now()
+    parallel.get_many([f"k/{i}" for i in range(64)], window=32)
+    parallel_elapsed = parallel.clock.now() - parallel_start
+    assert parallel_elapsed < serial_elapsed / 4
+
+
+def test_delete_many():
+    client = make_client()
+    client.put_many([(f"k/{i}", b"x") for i in range(10)])
+    client.delete_many([f"k/{i}" for i in range(10)])
+    assert client.store.object_count() == 0
+
+
+def test_backoff_schedule():
+    policy = RetryPolicy(initial_backoff=0.01, backoff_multiplier=2.0,
+                         max_backoff=0.05)
+    assert policy.backoff(1) == pytest.approx(0.01)
+    assert policy.backoff(2) == pytest.approx(0.02)
+    assert policy.backoff(10) == pytest.approx(0.05)
+
+
+def test_invalid_configuration():
+    with pytest.raises(ValueError):
+        make_client(policy=RetryPolicy(max_attempts=0))

@@ -1,0 +1,54 @@
+"""Unit tests for the CPU model (Amdahl-style scale-up)."""
+
+import pytest
+
+from repro.sim.clock import VirtualClock
+from repro.sim.cpu import CpuModel
+
+
+def test_charge_advances_clock():
+    clock = VirtualClock()
+    cpu = CpuModel(clock, vcpus=1, ops_per_second=100.0, parallel_fraction=1.0)
+    cpu.charge(50.0)
+    assert clock.now() == pytest.approx(0.5)
+
+
+def test_more_cpus_are_faster():
+    small = CpuModel(VirtualClock(), vcpus=16, ops_per_second=1e6)
+    large = CpuModel(VirtualClock(), vcpus=96, ops_per_second=1e6)
+    assert large.seconds_for(1e6) < small.seconds_for(1e6)
+
+
+def test_amdahl_limits_speedup():
+    """With 97% parallel work, 6x the CPUs gives clearly less than 6x."""
+    small = CpuModel(VirtualClock(), vcpus=16, ops_per_second=1e6,
+                     parallel_fraction=0.97)
+    large = CpuModel(VirtualClock(), vcpus=96, ops_per_second=1e6,
+                     parallel_fraction=0.97)
+    speedup = small.seconds_for(1e6) / large.seconds_for(1e6)
+    assert 2.0 < speedup < 6.0
+
+
+def test_fully_serial_work_ignores_cpus():
+    cpu = CpuModel(VirtualClock(), vcpus=64, ops_per_second=100.0,
+                   parallel_fraction=0.0)
+    assert cpu.seconds_for(100.0) == pytest.approx(1.0)
+
+
+def test_total_ops_accumulates():
+    cpu = CpuModel(VirtualClock(), vcpus=2, ops_per_second=1e6)
+    cpu.charge(10)
+    cpu.charge(20)
+    assert cpu.total_ops == 30
+
+
+def test_invalid_parameters():
+    clock = VirtualClock()
+    with pytest.raises(ValueError):
+        CpuModel(clock, vcpus=0)
+    with pytest.raises(ValueError):
+        CpuModel(clock, vcpus=1, ops_per_second=0)
+    with pytest.raises(ValueError):
+        CpuModel(clock, vcpus=1, parallel_fraction=1.5)
+    with pytest.raises(ValueError):
+        CpuModel(clock, vcpus=1).charge(-1)

@@ -1,0 +1,96 @@
+"""Unit tests for page encryption (Section 4)."""
+
+import pytest
+
+from repro.storage.encryption import EncryptionError, PageEncryptor
+from tests.conftest import make_db
+
+KEY = b"0123456789abcdef0123456789abcdef"
+
+
+class TestPageEncryptor:
+    def test_roundtrip(self):
+        enc = PageEncryptor(KEY)
+        for payload in (b"", b"x", b"page data " * 1000):
+            assert enc.decrypt(enc.encrypt(payload)) == payload
+
+    def test_ciphertext_hides_plaintext(self):
+        enc = PageEncryptor(KEY)
+        plaintext = b"SECRET-CUSTOMER-DATA" * 50
+        ciphertext = enc.encrypt(plaintext)
+        assert b"SECRET" not in ciphertext
+
+    def test_each_encryption_unique(self):
+        enc = PageEncryptor(KEY)
+        a = enc.encrypt(b"same data")
+        b = enc.encrypt(b"same data")
+        assert a != b  # fresh nonce per page
+
+    def test_tamper_detected(self):
+        enc = PageEncryptor(KEY)
+        payload = bytearray(enc.encrypt(b"important"))
+        payload[-1] ^= 0xFF
+        with pytest.raises(EncryptionError):
+            enc.decrypt(bytes(payload))
+
+    def test_wrong_key_rejected(self):
+        ciphertext = PageEncryptor(KEY).encrypt(b"data")
+        other = PageEncryptor(b"another-key-another-key-another!")
+        with pytest.raises(EncryptionError):
+            other.decrypt(ciphertext)
+
+    def test_garbage_rejected(self):
+        with pytest.raises(EncryptionError):
+            PageEncryptor(KEY).decrypt(b"not encrypted at all")
+
+    def test_short_key_rejected(self):
+        with pytest.raises(EncryptionError):
+            PageEncryptor(b"short")
+
+
+class TestEncryptedEngine:
+    def test_roundtrip_through_engine(self):
+        db = make_db(encryption_key=KEY)
+        db.create_object("t")
+        txn = db.begin()
+        db.write_page(txn, "t", 0, b"customer record " * 100)
+        db.commit(txn)
+        db.buffer.invalidate_all()
+        reader = db.begin()
+        assert db.read_page(reader, "t", 0) == b"customer record " * 100
+        db.commit(reader)
+
+    def test_objects_at_rest_are_ciphertext(self):
+        db = make_db(encryption_key=KEY)
+        db.create_object("t")
+        txn = db.begin()
+        db.write_page(txn, "t", 0, b"PLAINTEXT-MARKER" * 64)
+        db.commit(txn)
+        for name in db.object_store.list_keys():
+            assert b"PLAINTEXT-MARKER" not in db.object_store.get(name)
+
+    def test_ocm_cache_holds_ciphertext(self):
+        """The buffer hands pages to the OCM already encrypted."""
+        db = make_db(encryption_key=KEY)
+        db.create_object("t")
+        txn = db.begin()
+        db.write_page(txn, "t", 0, b"PLAINTEXT-MARKER" * 64)
+        db.commit(txn)
+        assert db.ocm is not None
+        polluted = [
+            name for name, entry in db.ocm._entries.items()
+            if b"PLAINTEXT-MARKER" in entry.data
+        ]
+        assert not polluted
+
+    def test_crash_recovery_with_encryption(self):
+        db = make_db(encryption_key=KEY)
+        db.create_object("t")
+        txn = db.begin()
+        db.write_page(txn, "t", 0, b"survives" * 10)
+        db.commit(txn)
+        db.crash()
+        db.restart()
+        reader = db.begin()
+        assert db.read_page(reader, "t", 0) == b"survives" * 10
+        db.commit(reader)

@@ -1,0 +1,104 @@
+"""Unit tests for the freelist bitmap allocator."""
+
+import pytest
+
+from repro.blockstore.freelist import Freelist, FreelistError
+
+
+def test_allocate_contiguous_runs():
+    freelist = Freelist(100)
+    first = freelist.allocate(5)
+    second = freelist.allocate(3)
+    assert first != second
+    assert freelist.used_blocks == 8
+    for block in range(first, first + 5):
+        assert freelist.is_used(block)
+
+
+def test_free_returns_blocks():
+    freelist = Freelist(10)
+    start = freelist.allocate(4)
+    freelist.free(start, 4)
+    assert freelist.used_blocks == 0
+
+
+def test_double_free_raises():
+    freelist = Freelist(10)
+    start = freelist.allocate(2)
+    freelist.free(start, 2)
+    with pytest.raises(FreelistError):
+        freelist.free(start, 2)
+
+
+def test_mark_free_is_idempotent():
+    freelist = Freelist(10)
+    start = freelist.allocate(2)
+    freelist.mark_free(start, 2)
+    freelist.mark_free(start, 2)
+    assert freelist.used_blocks == 0
+
+
+def test_exhaustion_raises():
+    freelist = Freelist(10)
+    freelist.allocate(10)
+    with pytest.raises(FreelistError):
+        freelist.allocate(1)
+
+
+def test_fragmentation_requires_contiguity():
+    freelist = Freelist(10)
+    first = freelist.allocate(4)
+    freelist.allocate(4)
+    freelist.free(first, 4)
+    # 4 free at the front, 2 at the back: a run of 5 does not fit.
+    with pytest.raises(FreelistError):
+        freelist.allocate(5)
+    # But 4 does (reusing the freed front run).
+    assert freelist.allocate(4) == first
+
+
+def test_wraparound_scan():
+    freelist = Freelist(10)
+    a = freelist.allocate(5)
+    b = freelist.allocate(5)
+    freelist.free(a, 5)
+    # Cursor is at the end; allocation must wrap to the start.
+    assert freelist.allocate(5) == a
+
+
+def test_used_ranges():
+    freelist = Freelist(20)
+    freelist.mark_used(2, 3)
+    freelist.mark_used(10, 1)
+    assert list(freelist.used_ranges()) == [(2, 3), (10, 1)]
+
+
+def test_serialization_roundtrip():
+    freelist = Freelist(64)
+    freelist.allocate(7)
+    freelist.mark_used(50, 3)
+    restored = Freelist.from_bytes(freelist.to_bytes())
+    assert restored.total_blocks == 64
+    assert restored.used_blocks == freelist.used_blocks
+    assert list(restored.used_ranges()) == list(freelist.used_ranges())
+
+
+def test_copy_is_independent():
+    freelist = Freelist(16)
+    freelist.allocate(4)
+    clone = freelist.copy()
+    clone.allocate(4)
+    assert freelist.used_blocks == 4
+    assert clone.used_blocks == 8
+
+
+def test_bounds_checking():
+    freelist = Freelist(10)
+    with pytest.raises(FreelistError):
+        freelist.is_used(10)
+    with pytest.raises(FreelistError):
+        freelist.mark_used(8, 5)
+    with pytest.raises(FreelistError):
+        freelist.allocate(0)
+    with pytest.raises(FreelistError):
+        Freelist(0)

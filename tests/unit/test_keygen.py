@@ -1,0 +1,169 @@
+"""Unit tests for the Object Key Generator (Section 3.2)."""
+
+import pytest
+
+from repro.core.keygen import (
+    ActiveSet,
+    KeyRange,
+    KeygenError,
+    NodeKeyCache,
+    ObjectKeyGenerator,
+    RangeSizePolicy,
+)
+from repro.core.log import ALLOC_RANGE, TransactionLog
+from repro.sim.clock import VirtualClock
+from repro.storage.locator import OBJECT_KEY_BASE
+
+
+class TestKeyRange:
+    def test_count_and_iteration(self):
+        kr = KeyRange(OBJECT_KEY_BASE + 1, OBJECT_KEY_BASE + 5)
+        assert kr.count == 5
+        assert list(kr)[0] == OBJECT_KEY_BASE + 1
+
+    def test_validation(self):
+        with pytest.raises(KeygenError):
+            KeyRange(OBJECT_KEY_BASE + 5, OBJECT_KEY_BASE + 1)
+        with pytest.raises(KeygenError):
+            KeyRange(100, 200)  # below the reserved range
+
+
+class TestActiveSet:
+    def test_add_and_merge(self):
+        active = ActiveSet()
+        active.add(10, 20)
+        active.add(21, 30)
+        assert active.intervals() == [(10, 30)]
+
+    def test_remove_middle_splits(self):
+        active = ActiveSet([(10, 30)])
+        active.remove(15, 20)
+        assert active.intervals() == [(10, 14), (21, 30)]
+
+    def test_remove_prefix(self):
+        """Table 1 step 90: committed keys 101-130 leave {101-200}."""
+        active = ActiveSet([(101, 200)])
+        active.remove(101, 130)
+        assert active.intervals() == [(131, 200)]
+
+    def test_remove_disjoint_is_noop(self):
+        active = ActiveSet([(10, 20)])
+        active.remove(30, 40)
+        assert active.intervals() == [(10, 20)]
+
+    def test_key_count(self):
+        active = ActiveSet([(1, 5), (10, 10)])
+        assert active.key_count() == 6
+
+
+class TestGenerator:
+    def test_ranges_are_monotonic_and_disjoint(self):
+        gen = ObjectKeyGenerator(TransactionLog())
+        first = gen.allocate_range("w1", 100)
+        second = gen.allocate_range("w2", 50)
+        assert second.lo == first.hi + 1
+        assert gen.max_allocated_key == second.hi
+
+    def test_allocation_logged(self):
+        log = TransactionLog()
+        gen = ObjectKeyGenerator(log)
+        kr = gen.allocate_range("w1", 10)
+        records = [r for r in log.records() if r.kind == ALLOC_RANGE]
+        assert records[0].payload == {"node": "w1", "lo": kr.lo, "hi": kr.hi}
+
+    def test_active_set_tracks_allocations(self):
+        gen = ObjectKeyGenerator(TransactionLog())
+        kr = gen.allocate_range("w1", 100)
+        assert gen.active_set("w1").intervals() == [(kr.lo, kr.hi)]
+
+    def test_commit_trims_active_set(self):
+        gen = ObjectKeyGenerator(TransactionLog())
+        kr = gen.allocate_range("w1", 100)
+        gen.notify_committed("w1", [(kr.lo, kr.lo + 29)])
+        assert gen.active_set("w1").intervals() == [(kr.lo + 30, kr.hi)]
+
+    def test_clear_active_set(self):
+        gen = ObjectKeyGenerator(TransactionLog())
+        gen.allocate_range("w1", 10)
+        cleared = gen.clear_active_set("w1")
+        assert cleared.key_count() == 10
+        assert not gen.active_set("w1")
+
+    def test_checkpoint_roundtrip(self):
+        log = TransactionLog()
+        gen = ObjectKeyGenerator(log)
+        gen.allocate_range("w1", 100)
+        gen.notify_committed("w1", [(OBJECT_KEY_BASE, OBJECT_KEY_BASE + 9)])
+        state = gen.checkpoint_state()
+        restored = ObjectKeyGenerator.from_checkpoint(log, state)
+        assert restored.next_key == gen.next_key
+        assert restored.active_set("w1") == gen.active_set("w1")
+
+    def test_replay_allocation(self):
+        gen = ObjectKeyGenerator(TransactionLog())
+        gen.replay_allocation("w1", OBJECT_KEY_BASE + 50, OBJECT_KEY_BASE + 99)
+        assert gen.next_key == OBJECT_KEY_BASE + 100
+        assert gen.active_set("w1").intervals() == [
+            (OBJECT_KEY_BASE + 50, OBJECT_KEY_BASE + 99)
+        ]
+
+    def test_invalid_count(self):
+        gen = ObjectKeyGenerator(TransactionLog())
+        with pytest.raises(KeygenError):
+            gen.allocate_range("w1", 0)
+
+
+class TestNodeKeyCache:
+    def make_cache(self, policy=None):
+        clock = VirtualClock()
+        gen = ObjectKeyGenerator(TransactionLog())
+        cache = NodeKeyCache("w1", gen.allocate_range, clock.now,
+                             policy=policy)
+        return clock, gen, cache
+
+    def test_keys_unique_and_monotonic(self):
+        __, __, cache = self.make_cache()
+        keys = [cache.next_key() for __ in range(500)]
+        assert keys == sorted(keys)
+        assert len(set(keys)) == 500
+
+    def test_refill_only_when_exhausted(self):
+        __, __, cache = self.make_cache(
+            policy=RangeSizePolicy(initial=10, minimum=10, maximum=10)
+        )
+        for __ in range(10):
+            cache.next_key()
+        assert cache.refill_count == 1
+        cache.next_key()
+        assert cache.refill_count == 2
+
+    def test_range_grows_under_load(self):
+        clock, __, cache = self.make_cache(
+            policy=RangeSizePolicy(initial=8, minimum=8, maximum=1024,
+                                   grow_threshold=1.0)
+        )
+        for __ in range(200):  # burst: all at virtual time 0
+            cache.next_key()
+        assert cache.range_size > 8
+
+    def test_range_shrinks_when_idle(self):
+        clock, __, cache = self.make_cache(
+            policy=RangeSizePolicy(initial=64, minimum=8, maximum=1024,
+                                   shrink_threshold=10.0)
+        )
+        for __ in range(65):
+            cache.next_key()
+        grown = cache.range_size
+        clock.advance(1000.0)
+        for __ in range(grown + 1):
+            cache.next_key()
+        assert cache.range_size < grown or cache.range_size == 8
+
+    def test_drop_cached_range(self):
+        __, gen, cache = self.make_cache()
+        cache.next_key()
+        dropped = cache.drop_cached_range()
+        assert dropped is not None
+        assert cache.remaining() == 0
+        # Next key comes from a brand-new range: monotonicity preserved.
+        assert cache.next_key() > dropped.hi

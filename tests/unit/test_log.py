@@ -1,0 +1,62 @@
+"""Unit tests for the transaction log and checkpoints."""
+
+from repro.blockstore.device import BlockDevice
+from repro.blockstore.profiles import nvme_ssd
+from repro.core.log import ALLOC_RANGE, LogRecord, TXN_COMMIT, TransactionLog
+from repro.sim.clock import VirtualClock
+
+
+def test_append_assigns_lsns():
+    log = TransactionLog()
+    first = log.append(ALLOC_RANGE, {"lo": 1})
+    second = log.append(TXN_COMMIT, {"txn_id": 2})
+    assert second.lsn == first.lsn + 1
+
+
+def test_record_json_roundtrip():
+    record = LogRecord(7, TXN_COMMIT, {"txn_id": 3, "node": "w1"})
+    assert LogRecord.from_json(record.to_json()) == record
+
+
+def test_records_since_checkpoint():
+    log = TransactionLog()
+    log.append(ALLOC_RANGE, {"a": 1})
+    log.checkpoint({"state": True})
+    log.append(TXN_COMMIT, {"b": 2})
+    since = list(log.records_since_checkpoint())
+    assert [r.kind for r in since] == [TXN_COMMIT]
+
+
+def test_last_checkpoint_state():
+    log = TransactionLog()
+    assert log.last_checkpoint_state() is None
+    log.checkpoint({"x": 1})
+    log.checkpoint({"x": 2})
+    assert log.last_checkpoint_state() == {"x": 2}
+
+
+def test_appends_charge_device_time():
+    device = BlockDevice(nvme_ssd(), 4096, 100, clock=VirtualClock())
+    log = TransactionLog(device)
+    log.append(TXN_COMMIT, {"txn_id": 1})
+    assert device.clock.now() > 0
+
+
+def test_truncate_before_checkpoint():
+    log = TransactionLog()
+    log.append(ALLOC_RANGE, {})
+    log.append(ALLOC_RANGE, {})
+    log.checkpoint({})
+    log.append(TXN_COMMIT, {})
+    dropped = log.truncate_before_checkpoint()
+    assert dropped == 2
+    assert len(log) == 2  # checkpoint record + commit
+    # Replay still works after truncation.
+    assert [r.kind for r in log.records_since_checkpoint()] == [TXN_COMMIT]
+
+
+def test_truncate_without_checkpoint_is_noop():
+    log = TransactionLog()
+    log.append(ALLOC_RANGE, {})
+    assert log.truncate_before_checkpoint() == 0
+    assert len(log) == 1

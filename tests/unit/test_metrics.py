@@ -1,0 +1,93 @@
+"""Unit tests for counters, histograms and time series."""
+
+import pytest
+
+from repro.sim.metrics import Counter, Histogram, MetricsRegistry, TimeSeries
+
+
+class TestCounter:
+    def test_increment(self):
+        counter = Counter("x")
+        counter.increment()
+        counter.increment(4)
+        assert counter.value == 5
+
+    def test_cannot_decrease(self):
+        with pytest.raises(ValueError):
+            Counter("x").increment(-1)
+
+
+class TestHistogram:
+    def test_mean(self):
+        hist = Histogram("h")
+        for value in (1.0, 2.0, 3.0):
+            hist.observe(value)
+        assert hist.mean == pytest.approx(2.0)
+        assert hist.count == 3
+        assert hist.total == pytest.approx(6.0)
+
+    def test_empty_summaries_are_zero(self):
+        hist = Histogram("h")
+        assert hist.mean == 0.0
+        assert hist.percentile(50) == 0.0
+        assert hist.geomean() == 0.0
+
+    def test_percentiles(self):
+        hist = Histogram("h")
+        for value in range(1, 101):
+            hist.observe(float(value))
+        assert hist.percentile(0) == 1.0
+        assert hist.percentile(100) == 100.0
+        assert hist.percentile(50) == pytest.approx(50.5)
+
+    def test_percentile_bounds_checked(self):
+        hist = Histogram("h")
+        hist.observe(1.0)
+        with pytest.raises(ValueError):
+            hist.percentile(101)
+
+    def test_geomean(self):
+        hist = Histogram("h")
+        hist.observe(1.0)
+        hist.observe(100.0)
+        assert hist.geomean() == pytest.approx(10.0)
+
+    def test_geomean_skips_nonpositive(self):
+        hist = Histogram("h")
+        hist.observe(0.0)
+        hist.observe(4.0)
+        assert hist.geomean() == pytest.approx(4.0)
+
+
+class TestTimeSeries:
+    def test_bucketed_sum(self):
+        series = TimeSeries("s")
+        series.record(0.1, 10)
+        series.record(0.9, 20)
+        series.record(1.5, 5)
+        buckets = series.bucketed_sum(1.0)
+        assert buckets == [(0.0, 30.0), (1.0, 5.0)]
+
+    def test_out_of_order_samples_allowed(self):
+        series = TimeSeries("s")
+        series.record(5.0, 1)
+        series.record(1.0, 2)
+        assert series.samples == [(1.0, 2.0), (5.0, 1.0)]
+
+    def test_bucket_width_must_be_positive(self):
+        with pytest.raises(ValueError):
+            TimeSeries("s").bucketed_sum(0)
+
+
+class TestRegistry:
+    def test_same_name_same_object(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.histogram("h") is registry.histogram("h")
+        assert registry.series("s") is registry.series("s")
+
+    def test_snapshot(self):
+        registry = MetricsRegistry()
+        registry.counter("a").increment(2)
+        registry.counter("b").increment(3)
+        assert registry.snapshot() == {"a": 2, "b": 3}

@@ -1,0 +1,173 @@
+"""Unit tests for multiple cloud dbspaces, custom page sizes, table moves."""
+
+import pytest
+
+from repro.columnar import ColumnSchema, ColumnStore, QueryContext, TableSchema
+from repro.engine import EngineError
+from repro.objectstore.s3sim import AZURE_BLOB_PROFILE
+from tests.conftest import make_db
+
+
+def test_create_cloud_dbspace_and_store_pages():
+    db = make_db()
+    dbspace = db.create_cloud_dbspace("archive")
+    db.create_object("t", dbspace="archive")
+    txn = db.begin()
+    db.write_page(txn, "t", 0, b"archived data")
+    db.commit(txn)
+    reader = db.begin()
+    assert db.read_page(reader, "t", 0) == b"archived data"
+    db.commit(reader)
+    # The page landed on the new bucket, not the primary user one.
+    assert dbspace.stored_bytes() > 0
+
+
+def test_duplicate_dbspace_rejected():
+    db = make_db()
+    db.create_cloud_dbspace("x")
+    with pytest.raises(EngineError):
+        db.create_cloud_dbspace("x")
+    with pytest.raises(EngineError):
+        db.create_cloud_dbspace("user")
+
+
+def test_custom_page_size_enforced():
+    db = make_db(page_size=16 * 1024)
+    db.create_cloud_dbspace("bigpages", page_size=64 * 1024)
+    db.create_cloud_dbspace("smallpages", page_size=4 * 1024)
+    assert db.page_size_for("bigpages") == 64 * 1024
+    assert db.page_size_for("user") == 16 * 1024
+
+    db.create_object("big", dbspace="bigpages")
+    db.create_object("small", dbspace="smallpages")
+    txn = db.begin()
+    # Larger-than-default pages are legal on the big-page dbspace...
+    db.write_page(txn, "big", 0, b"x" * (48 * 1024))
+    # ...and the small-page dbspace enforces its own limit.
+    from repro.core.buffer import BufferError
+
+    with pytest.raises(BufferError):
+        db.write_page(txn, "small", 0, b"x" * (8 * 1024))
+    db.write_page(txn, "small", 0, b"x" * (4 * 1024))
+    db.commit(txn)
+
+
+def test_invalid_page_size_rejected():
+    db = make_db()
+    with pytest.raises(EngineError):
+        db.create_cloud_dbspace("bad", page_size=1000)
+
+
+def test_azure_profile_dbspace():
+    db = make_db()
+    azure = db.create_cloud_dbspace("azure", profile=AZURE_BLOB_PROFILE)
+    db.create_object("t", dbspace="azure")
+    txn = db.begin()
+    db.write_page(txn, "t", 0, b"on azure")
+    db.commit(txn)
+    # Requests were billed against the Azure price book.
+    assert db.meter.request_cost("azure-blob") > 0
+
+
+def test_keys_unique_across_dbspaces():
+    """The key generator is global: dbspaces never collide on keys."""
+    db = make_db()
+    db.create_cloud_dbspace("second")
+    db.create_object("a", dbspace="user")
+    db.create_object("b", dbspace="second")
+    txn = db.begin()
+    for page in range(5):
+        db.write_page(txn, "a", page, b"A%d" % page)
+        db.write_page(txn, "b", page, b"B%d" % page)
+    db.commit(txn)
+    keys_a = set(txn.all_allocated_for("user").cloud_keys())
+    keys_b = set(txn.all_allocated_for("second").cloud_keys())
+    assert keys_a and keys_b
+    assert keys_a.isdisjoint(keys_b)
+
+
+def test_restart_gc_covers_extra_dbspaces():
+    db = make_db()
+    db.create_cloud_dbspace("second")
+    db.create_object("t", dbspace="second")
+    txn = db.begin()
+    db.write_page(txn, "t", 0, b"orphan")
+    db.buffer.flush_txn(txn.txn_id, commit_mode=False)
+    second = db.node.dbspace("second")
+    assert second.stored_bytes() > 0
+    db.crash()
+    db.restart()
+    assert second.stored_bytes() == 0
+
+
+def test_gc_after_recovery_reaches_extra_dbspaces():
+    db = make_db()
+    db.create_cloud_dbspace("second")
+    db.create_object("t", dbspace="second")
+    txn = db.begin()
+    db.write_page(txn, "t", 0, b"v1" * 100)
+    db.commit(txn)
+    db.crash()
+    db.restart()
+    update = db.begin()
+    db.write_page(update, "t", 0, b"v2" * 100)
+    db.commit(update)
+    # Old v1 pages on the extra dbspace were garbage collected.
+    reader = db.begin()
+    assert db.read_page(reader, "t", 0) == b"v2" * 100
+    db.commit(reader)
+
+
+class TestMoveTable:
+    def make_loaded(self):
+        db = make_db()
+        db.create_cloud_dbspace("cold", profile=AZURE_BLOB_PROFILE)
+        store = ColumnStore(db)
+        store.create_table(TableSchema(
+            "facts",
+            (ColumnSchema("k", "int", hg_index=True),
+             ColumnSchema("v", "float")),
+            partition_column="k",
+            partition_count=2,
+            rows_per_page=128,
+        ))
+        store.load("facts", [(i, float(i) * 1.5) for i in range(600)])
+        return db, store
+
+    def test_move_preserves_data(self):
+        db, store = self.make_loaded()
+        moved_pages = store.move_table("facts", "cold")
+        assert moved_pages > 0
+        with QueryContext(db) as ctx:
+            rel = ctx.read("facts", ["k", "v"], {"k": (10, 12)})
+        assert sorted(rel["k"]) == [10, 11, 12]
+        assert rel["v"] == [k * 1.5 for k in rel["k"]]
+
+    def test_move_rehomes_storage(self):
+        db, store = self.make_loaded()
+        cold = db.node.dbspace("cold")
+        before_cold = cold.stored_bytes()
+        user_before = db.node.dbspace("user").stored_bytes()
+        store.move_table("facts", "cold")
+        db.txn_manager.collect_garbage()
+        assert cold.stored_bytes() > before_cold
+        # The old copies were garbage collected off the source dbspace.
+        assert db.node.dbspace("user").stored_bytes() < user_before / 2
+
+    def test_move_updates_catalog(self):
+        db, store = self.make_loaded()
+        store.move_table("facts", "cold")
+        oid = db.catalog.object_id("facts/k#p0")
+        assert db.catalog.current(oid).dbspace == "cold"
+
+    def test_queries_identical_after_move(self):
+        db, store = self.make_loaded()
+        with QueryContext(db) as ctx:
+            before = ctx.read("facts", ["k", "v"])
+        store.move_table("facts", "cold")
+        db.node.invalidate_caches()
+        if hasattr(db, "_query_meta_cache"):
+            db._query_meta_cache.clear()
+        with QueryContext(db) as ctx:
+            after = ctx.read("facts", ["k", "v"])
+        assert before == after

@@ -1,0 +1,190 @@
+"""Unit tests for the niche indexes (DATE, CMP, TEXT) of Section 1."""
+
+import pytest
+
+from repro.columnar import ColumnSchema, ColumnStore, QueryContext, TableSchema
+from repro.columnar.niche import CmpIndex, DateIndex, TextIndex
+from repro.columnar.schema import SchemaError
+from repro.tpch.dates import d
+from tests.conftest import make_db
+
+
+class TestDateIndex:
+    def test_month_buckets(self):
+        index = DateIndex()
+        index.add_rows([d(1994, 1, 15), d(1994, 2, 1), d(1994, 1, 31)],
+                       first_row_id=10)
+        assert index.lookup_month(1994, 1) == [10, 12]
+        assert index.lookup_month(1994, 2) == [11]
+        assert index.lookup_month(1995, 1) == []
+
+    def test_year_lookup(self):
+        index = DateIndex()
+        index.add_rows([d(1994, 3, 1), d(1995, 3, 1), d(1994, 6, 1)],
+                       first_row_id=0)
+        assert index.lookup_year(1994) == [0, 2]
+
+    def test_month_counts(self):
+        index = DateIndex()
+        index.add_rows([d(1994, 1, 1)] * 5 + [d(1994, 2, 1)] * 3,
+                       first_row_id=0)
+        counts = index.month_counts()
+        assert counts[(1994, 1)] == 5
+        assert counts[(1994, 2)] == 3
+
+    def test_serialization_roundtrip(self):
+        index = DateIndex()
+        index.add_rows([d(1997, 12, 31), d(1998, 1, 1)], first_row_id=5)
+        restored = DateIndex.from_bytes(index.to_bytes())
+        assert restored.lookup_month(1997, 12) == [5]
+        assert restored.lookup_month(1998, 1) == [6]
+
+
+class TestCmpIndex:
+    def test_three_way_classification(self):
+        index = CmpIndex()
+        index.add_rows([1, 5, 3], [2, 5, 1], first_row_id=0)
+        assert index.lookup("lt") == [0]
+        assert index.lookup("eq") == [1]
+        assert index.lookup("gt") == [2]
+        assert index.lookup("le") == [0, 1]
+        assert index.lookup("ge") == [1, 2]
+        assert index.lookup("ne") == [0, 2]
+
+    def test_unknown_relation(self):
+        with pytest.raises(ValueError):
+            CmpIndex().lookup("approx")
+
+    def test_counts(self):
+        index = CmpIndex()
+        index.add_rows([1, 1, 2], [2, 1, 1], first_row_id=0)
+        assert index.counts() == {"lt": 1, "eq": 1, "gt": 1}
+
+    def test_serialization_roundtrip(self):
+        index = CmpIndex()
+        index.add_rows([1, 9], [5, 5], first_row_id=100)
+        restored = CmpIndex.from_bytes(index.to_bytes())
+        assert restored.lookup("lt") == [100]
+        assert restored.lookup("gt") == [101]
+
+
+class TestTextIndex:
+    def test_word_lookup_case_insensitive(self):
+        index = TextIndex()
+        index.add_rows(["Special requests pending", "nothing here",
+                        "more SPECIAL things"], first_row_id=0)
+        assert index.lookup("special") == [0, 2]
+        assert index.lookup("Special") == [0, 2]
+        assert index.lookup("absent") == []
+
+    def test_conjunctive_lookup(self):
+        index = TextIndex()
+        index.add_rows(["special requests", "special offers",
+                        "requests only"], first_row_id=0)
+        assert index.lookup_all(["special", "requests"]) == [0]
+
+    def test_duplicate_words_once_per_row(self):
+        index = TextIndex()
+        index.add_rows(["again again again"], first_row_id=7)
+        assert index.lookup("again") == [7]
+
+    def test_vocabulary(self):
+        index = TextIndex()
+        index.add_rows(["a b c", "b c d"], first_row_id=0)
+        assert index.vocabulary_size == 4
+
+    def test_serialization_roundtrip(self):
+        index = TextIndex()
+        index.add_rows(["hello world"], first_row_id=3)
+        restored = TextIndex.from_bytes(index.to_bytes())
+        assert restored.lookup("world") == [3]
+
+
+class TestSchemaValidation:
+    def test_date_index_needs_date_kind(self):
+        with pytest.raises(SchemaError):
+            ColumnSchema("x", "int", date_index=True)
+
+    def test_text_index_needs_str_kind(self):
+        with pytest.raises(SchemaError):
+            ColumnSchema("x", "int", text_index=True)
+
+    def test_cmp_columns_must_exist(self):
+        with pytest.raises(SchemaError):
+            TableSchema("t", (ColumnSchema("a", "int"),),
+                        cmp_indexes=(("a", "zzz"),))
+
+    def test_schema_roundtrip_with_niche_indexes(self):
+        schema = TableSchema(
+            "t",
+            (
+                ColumnSchema("when", "date", date_index=True),
+                ColumnSchema("due", "date"),
+                ColumnSchema("note", "str", text_index=True),
+            ),
+            cmp_indexes=(("when", "due"),),
+        )
+        assert TableSchema.from_dict(schema.to_dict()) == schema
+
+
+class TestEndToEnd:
+    @pytest.fixture
+    def loaded(self):
+        db = make_db()
+        store = ColumnStore(db)
+        schema = TableSchema(
+            "shipments",
+            (
+                ColumnSchema("id", "int"),
+                ColumnSchema("shipdate", "date", date_index=True),
+                ColumnSchema("duedate", "date"),
+                ColumnSchema("note", "str", text_index=True),
+            ),
+            cmp_indexes=(("shipdate", "duedate"),),
+            rows_per_page=64,
+        )
+        store.create_table(schema)
+        rows = []
+        for i in range(300):
+            ship = d(1994, 1 + (i % 12), 1 + (i % 28))
+            due = ship + (i % 5) - 2  # some early, some on time, some late
+            note = "late delivery complaint" if i % 7 == 0 else "on time"
+            rows.append((i, ship, due, note))
+        store.load("shipments", rows)
+        return db, rows
+
+    def test_date_index_matches_scan(self, loaded):
+        db, rows = loaded
+        with QueryContext(db) as ctx:
+            index = ctx.date_index("shipments", "shipdate")
+            via_index = sorted(
+                ctx.read_rows("shipments", ["id"],
+                              index.lookup_month(1994, 3))["id"]
+            )
+            lo, hi = d(1994, 3, 1), d(1994, 4, 1) - 1
+            via_scan = sorted(
+                ctx.read("shipments", ["id"], {"shipdate": (lo, hi)})["id"]
+            )
+        assert via_index == via_scan
+        assert via_index  # non-empty
+
+    def test_cmp_index_matches_row_filter(self, loaded):
+        db, rows = loaded
+        with QueryContext(db) as ctx:
+            cmp_index = ctx.cmp_index("shipments", "shipdate", "duedate")
+            late = sorted(
+                ctx.read_rows("shipments", ["id"], cmp_index.lookup("gt"))["id"]
+            )
+        expected = sorted(i for i, ship, due, __ in rows if ship > due)
+        assert late == expected
+
+    def test_text_index_matches_substring_scan(self, loaded):
+        db, rows = loaded
+        with QueryContext(db) as ctx:
+            text = ctx.text_index("shipments", "note")
+            flagged = sorted(
+                ctx.read_rows("shipments", ["id"],
+                              text.lookup_all(["complaint"]))["id"]
+            )
+        expected = sorted(i for i, __, __, note in rows if "complaint" in note)
+        assert flagged == expected

@@ -1,0 +1,193 @@
+"""Unit tests for the Object Cache Manager (Section 4)."""
+
+import pytest
+
+from repro.blockstore.profiles import nvme_ssd
+from repro.core.ocm import ObjectCacheManager, OcmConfig
+from repro.objectstore import RetryingObjectClient, SimulatedObjectStore
+from repro.objectstore.consistency import STRONG
+from repro.objectstore.s3sim import ObjectStoreProfile
+from repro.sim.clock import VirtualClock
+
+
+def make_ocm(capacity=1 << 20, **config_overrides):
+    clock = VirtualClock()
+    profile = ObjectStoreProfile(name="s3", consistency=STRONG,
+                                 transient_failure_probability=0.0,
+                                 latency_jitter=0.0)
+    store = SimulatedObjectStore(profile, clock=clock)
+    client = RetryingObjectClient(store)
+    ocm = ObjectCacheManager(
+        client, nvme_ssd(),
+        OcmConfig(capacity_bytes=capacity, **config_overrides),
+    )
+    return ocm, store, clock
+
+
+def test_read_through_caches_for_next_read():
+    ocm, store, __ = make_ocm()
+    store.put("a/1", b"payload")
+    assert ocm.get("a/1") == b"payload"
+    assert ocm.stats()["misses"] == 1
+    assert ocm.get("a/1") == b"payload"
+    assert ocm.stats()["hits"] == 1
+
+
+def test_cache_hit_is_faster_than_miss():
+    ocm, store, clock = make_ocm()
+    store.put("a/1", b"x" * 10_000)
+    t0 = clock.now()
+    ocm.get("a/1")
+    miss_time = clock.now() - t0
+    t1 = clock.now()
+    ocm.get("a/1")
+    hit_time = clock.now() - t1
+    assert hit_time < miss_time
+
+
+def test_write_through_uploads_synchronously():
+    ocm, store, __ = make_ocm()
+    ocm.put("a/1", b"data", txn_id=1, commit_mode=True)
+    assert store.exists("a/1")
+    assert ocm.cached("a/1")
+
+
+def test_write_back_defers_upload():
+    ocm, store, __ = make_ocm()
+    ocm.put("a/1", b"data", txn_id=1, commit_mode=False)
+    assert not store.exists("a/1")  # upload still pending
+    assert ocm.pending_upload_count() == 1
+    assert ocm.get("a/1") == b"data"  # served from the local cache
+
+
+def test_write_back_is_faster_than_write_through():
+    back, __, back_clock = make_ocm()
+    t0 = back_clock.now()
+    back.put("a/1", b"x" * 10_000, txn_id=1, commit_mode=False)
+    back_time = back_clock.now() - t0
+
+    through, __, through_clock = make_ocm()
+    t1 = through_clock.now()
+    through.put("a/1", b"x" * 10_000, txn_id=1, commit_mode=True)
+    through_time = through_clock.now() - t1
+    assert back_time < through_time
+
+
+def test_flush_for_commit_uploads_pending():
+    ocm, store, __ = make_ocm()
+    for i in range(5):
+        ocm.put(f"a/{i}", b"x", txn_id=7, commit_mode=False)
+    ocm.flush_for_commit(7)
+    assert ocm.pending_upload_count() == 0
+    for i in range(5):
+        assert store.exists(f"a/{i}")
+
+
+def test_flush_for_commit_only_touches_own_txn():
+    ocm, store, __ = make_ocm()
+    ocm.put("a/1", b"x", txn_id=1, commit_mode=False)
+    ocm.put("b/2", b"y", txn_id=2, commit_mode=False)
+    ocm.flush_for_commit(1)
+    assert store.exists("a/1")
+    assert not store.exists("b/2")
+
+
+def test_discard_txn_drops_pending_and_entries():
+    """Rolled-back transactions never pollute the cache."""
+    ocm, store, __ = make_ocm()
+    ocm.put("a/1", b"x", txn_id=3, commit_mode=False)
+    dropped = ocm.discard_txn(3)
+    assert dropped == 1
+    assert not ocm.cached("a/1")
+    assert not store.exists("a/1")
+
+
+def test_lru_insert_after_upload_rule():
+    """Write-back entries are not evictable until uploaded."""
+    ocm, __, __ = make_ocm(capacity=4096)
+    ocm.put("a/1", b"x" * 3000, txn_id=1, commit_mode=False)
+    # A read-through fill that overflows capacity cannot evict the
+    # pending (not yet uploaded) entry — the fill itself is the victim.
+    ocm.client.put("b/2", b"y" * 3000)
+    ocm.get("b/2")
+    assert ocm.cached("a/1")
+    assert not ocm.cached("b/2")
+    assert ocm.stats()["evictions"] >= 1
+    ocm.flush_for_commit(1)
+    # Now the entry is in the LRU; the next insert evicts it instead.
+    ocm.client.put("c/3", b"z" * 3000)
+    ocm.get("c/3")
+    assert not ocm.cached("a/1")
+    assert ocm.cached("c/3")
+
+
+def test_eviction_counts(db=None):
+    ocm, store, __ = make_ocm(capacity=10_000)
+    for i in range(20):
+        store.put(f"k/{i}", b"v" * 1000)
+    for i in range(20):
+        ocm.get(f"k/{i}")
+    assert ocm.used_bytes <= 10_000
+    assert ocm.stats()["evictions"] > 0
+
+
+def test_get_many_mixes_hits_and_misses():
+    ocm, store, __ = make_ocm()
+    for i in range(10):
+        store.put(f"k/{i}", b"%d" % i)
+    for i in range(5):
+        ocm.get(f"k/{i}")
+    result = ocm.get_many([f"k/{i}" for i in range(10)])
+    assert len(result) == 10
+    stats = ocm.stats()
+    assert stats["hits"] == 5       # the pre-warmed half
+    assert stats["misses"] == 5 + 5  # initial fills plus the cold half
+
+
+def test_async_fill_delays_subsequent_hits():
+    """Figure 6 mechanism: big async fill burst inflates hit latency."""
+    ocm, store, clock = make_ocm(capacity=1 << 30)
+    store.put("hot/1", b"h" * 1000)
+    ocm.get("hot/1")  # cached
+    t0 = clock.now()
+    ocm.get("hot/1")
+    quiet_hit = clock.now() - t0
+    # Saturate the SSD with asynchronous fills.
+    big = [(f"cold/{i}", b"c" * 2_000_000) for i in range(20)]
+    for name, data in big:
+        store.put(name, data)
+    ocm.get_many([name for name, __ in big])
+    t1 = clock.now()
+    ocm.get("hot/1")
+    busy_hit = clock.now() - t1
+    assert busy_hit > quiet_hit * 5
+
+
+def test_delete_removes_cache_entry():
+    ocm, store, __ = make_ocm()
+    ocm.put("a/1", b"x", txn_id=1, commit_mode=True)
+    ocm.delete("a/1")
+    assert not ocm.cached("a/1")
+    assert not store.exists("a/1")
+
+
+def test_invalidate_all():
+    ocm, __, __ = make_ocm()
+    ocm.put("a/1", b"x", txn_id=1, commit_mode=True)
+    ocm.invalidate_all()
+    assert ocm.entry_count() == 0
+    assert ocm.used_bytes == 0
+
+
+def test_hit_rate():
+    ocm, store, __ = make_ocm()
+    store.put("a/1", b"x")
+    ocm.get("a/1")
+    ocm.get("a/1")
+    ocm.get("a/1")
+    assert ocm.hit_rate() == pytest.approx(2 / 3)
+
+
+def test_capacity_validation():
+    with pytest.raises(ValueError):
+        make_ocm(capacity=0)

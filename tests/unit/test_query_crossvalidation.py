@@ -1,0 +1,123 @@
+"""Cross-validation: more TPC-H queries vs brute-force recomputation.
+
+Complements test_queries.py (which covers Q1/Q6/Q13 exactly) with direct
+recomputations of Q4, Q12, Q14 and Q18 from the generator's raw rows.
+"""
+
+import pytest
+
+from repro.columnar.query import QueryContext
+from repro.tpch.datagen import TpchGenerator
+from repro.tpch.dates import d
+from repro.tpch.queries import run_query
+
+SF = 0.002
+
+
+@pytest.fixture()
+def ctx(tiny_tpch):
+    database, __, __ = tiny_tpch
+    context = QueryContext(database)
+    yield context
+    context.close()
+
+
+@pytest.fixture(scope="module")
+def raw():
+    return TpchGenerator(SF, seed=7).all_tables()
+
+
+def test_q4_exact(ctx, raw):
+    result = run_query(ctx, 4, SF)
+    late_orders = {
+        li[0] for li in raw["lineitem"] if li[11] < li[12]  # commit < receipt
+    }
+    expected = {}
+    for order in raw["orders"]:
+        if not d(1993, 7, 1) <= order[4] < d(1993, 10, 1):
+            continue
+        if order[0] not in late_orders:
+            continue
+        expected[order[5]] = expected.get(order[5], 0) + 1
+    got = dict(zip(result["o_orderpriority"], result["order_count"]))
+    assert got == expected
+
+
+def test_q12_exact(ctx, raw):
+    result = run_query(ctx, 12, SF)
+    priorities = {o[0]: o[5] for o in raw["orders"]}
+    expected = {}
+    for li in raw["lineitem"]:
+        shipmode = li[14]
+        if shipmode not in ("MAIL", "SHIP"):
+            continue
+        if not d(1994, 1, 1) <= li[12] < d(1995, 1, 1):  # receiptdate
+            continue
+        if not li[10] < li[11] < li[12]:  # ship < commit < receipt
+            continue
+        high = priorities[li[0]] in ("1-URGENT", "2-HIGH")
+        acc = expected.setdefault(shipmode, [0, 0])
+        acc[0 if high else 1] += 1
+    got = {
+        mode: [high, low]
+        for mode, high, low in zip(result["l_shipmode"],
+                                   result["high_line_count"],
+                                   result["low_line_count"])
+    }
+    assert got == expected
+
+
+def test_q14_exact(ctx, raw):
+    result = run_query(ctx, 14, SF)
+    types = {p[0]: p[4] for p in raw["part"]}
+    promo = total = 0.0
+    for li in raw["lineitem"]:
+        if not d(1995, 9, 1) <= li[10] < d(1995, 10, 1):  # shipdate
+            continue
+        revenue = li[5] * (1 - li[6])
+        total += revenue
+        if types[li[1]].startswith("PROMO"):
+            promo += revenue
+    expected = 100.0 * promo / total if total else 0.0
+    assert result["promo_revenue"][0] == pytest.approx(expected)
+
+
+def test_q18_exact(ctx, raw):
+    result = run_query(ctx, 18, SF)
+    qty_per_order = {}
+    for li in raw["lineitem"]:
+        qty_per_order[li[0]] = qty_per_order.get(li[0], 0.0) + li[4]
+    expected_orders = {
+        order for order, qty in qty_per_order.items() if qty > 300.0
+    }
+    assert set(result["o_orderkey"]) == expected_orders
+    for order, qty in zip(result["o_orderkey"], result["sum_qty"]):
+        assert qty == pytest.approx(qty_per_order[order])
+
+
+def test_q22_exact(ctx, raw):
+    result = run_query(ctx, 22, SF)
+    codes = ("13", "31", "23", "29", "30", "18", "17")
+    in_scope = [
+        c for c in raw["customer"] if c[4][:2] in codes
+    ]
+    positive = [c[5] for c in in_scope if c[5] > 0.0]
+    threshold = sum(positive) / len(positive) if positive else 0.0
+    with_orders = {o[1] for o in raw["orders"]}
+    expected = {}
+    for customer in in_scope:
+        if customer[5] <= threshold or customer[0] in with_orders:
+            continue
+        acc = expected.setdefault(customer[4][:2], [0, 0.0])
+        acc[0] += 1
+        acc[1] += customer[5]
+    got = {
+        code: [count, pytest.approx(total)]
+        for code, count, total in zip(result["cntrycode"],
+                                      result["numcust"],
+                                      result["totacctbal"])
+    }
+    assert set(got) == set(expected)
+    for code, (count, total) in expected.items():
+        assert got[code][0] == count
+        assert total == got[code][1]

@@ -1,0 +1,65 @@
+"""Unit tests for deterministic RNG substreams."""
+
+from repro.sim.rng import DeterministicRng
+
+
+def test_same_seed_same_sequence():
+    a = DeterministicRng(42)
+    b = DeterministicRng(42)
+    assert [a.random() for __ in range(10)] == [b.random() for __ in range(10)]
+
+
+def test_different_seeds_differ():
+    a = DeterministicRng(1)
+    b = DeterministicRng(2)
+    assert [a.random() for __ in range(5)] != [b.random() for __ in range(5)]
+
+
+def test_substreams_are_independent():
+    root = DeterministicRng(7)
+    x = root.substream("x")
+    y = root.substream("y")
+    assert [x.random() for __ in range(5)] != [y.random() for __ in range(5)]
+
+
+def test_substream_isolated_from_sibling_consumption():
+    """Drawing from one substream must not perturb another."""
+    root_a = DeterministicRng(7)
+    a1 = root_a.substream("one")
+    __ = [a1.random() for __ in range(100)]
+    a2 = root_a.substream("two")
+    first_after_draws = a2.random()
+
+    root_b = DeterministicRng(7)
+    b2 = root_b.substream("two")
+    assert b2.random() == first_after_draws
+
+
+def test_nested_substreams_deterministic():
+    a = DeterministicRng(3).substream("x").substream("y")
+    b = DeterministicRng(3).substream("x").substream("y")
+    assert a.random() == b.random()
+
+
+def test_randint_bounds():
+    rng = DeterministicRng(5)
+    values = [rng.randint(3, 9) for __ in range(200)]
+    assert min(values) >= 3
+    assert max(values) <= 9
+    assert set(values) == set(range(3, 10))
+
+
+def test_uniform_bounds():
+    rng = DeterministicRng(5)
+    for __ in range(100):
+        value = rng.uniform(1.0, 2.0)
+        assert 1.0 <= value <= 2.0
+
+
+def test_choice_and_sample():
+    rng = DeterministicRng(6)
+    options = ["a", "b", "c"]
+    assert rng.choice(options) in options
+    sampled = rng.sample(list(range(10)), 4)
+    assert len(sampled) == 4
+    assert len(set(sampled)) == 4

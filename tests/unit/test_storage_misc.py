@@ -1,0 +1,206 @@
+"""Unit tests for page codecs, page config, identity objects, dbspaces."""
+
+import pytest
+
+from repro.blockstore.device import BlockDevice
+from repro.blockstore.profiles import ram_disk
+from repro.objectstore import RetryingObjectClient, SimulatedObjectStore
+from repro.objectstore.consistency import STRONG
+from repro.objectstore.s3sim import ObjectStoreProfile
+from repro.sim.clock import VirtualClock
+from repro.storage.compression import (
+    NoCompressionCodec,
+    ZlibCodec,
+    codec_by_name,
+)
+from repro.storage.dbspace import (
+    BlockDbspace,
+    CloudDbspace,
+    DbspaceError,
+    DirectObjectIO,
+)
+from repro.storage.identity import Catalog, CatalogError, IdentityObject
+from repro.storage.locator import (
+    NULL_LOCATOR,
+    OBJECT_KEY_BASE,
+    is_object_key,
+    make_block_locator,
+)
+from repro.storage.page import PageConfig
+
+
+class CounterKeys:
+    def __init__(self):
+        self.next = OBJECT_KEY_BASE
+
+    def next_key(self):
+        self.next += 1
+        return self.next
+
+
+class TestCodecs:
+    def test_zlib_roundtrip(self):
+        codec = ZlibCodec()
+        data = b"hello " * 1000
+        compressed = codec.compress(data)
+        assert len(compressed) < len(data)
+        assert codec.decompress(compressed) == data
+
+    def test_none_roundtrip(self):
+        codec = NoCompressionCodec()
+        assert codec.decompress(codec.compress(b"abc")) == b"abc"
+
+    def test_lookup_by_name(self):
+        assert codec_by_name("zlib").name == "zlib"
+        assert codec_by_name("none").name == "none"
+        with pytest.raises(KeyError):
+            codec_by_name("snappy")
+
+    def test_zlib_level_validated(self):
+        with pytest.raises(ValueError):
+            ZlibCodec(level=10)
+
+
+class TestPageConfig:
+    def test_block_size_is_sixteenth(self):
+        config = PageConfig(page_size=64 * 1024)
+        assert config.block_size == 4096
+
+    def test_invalid_page_size(self):
+        with pytest.raises(ValueError):
+            PageConfig(page_size=1000)  # not a multiple of 16
+        with pytest.raises(ValueError):
+            PageConfig(page_size=0)
+
+
+class TestCatalog:
+    def test_register_and_lookup(self):
+        catalog = Catalog()
+        oid = catalog.register_object("t1", "user")
+        assert catalog.object_id("t1") == oid
+        assert catalog.current(oid).version == 0
+        assert catalog.current(oid).root_locator == NULL_LOCATOR
+
+    def test_duplicate_name_rejected(self):
+        catalog = Catalog()
+        catalog.register_object("t1", "user")
+        with pytest.raises(CatalogError):
+            catalog.register_object("t1", "user")
+
+    def test_publish_advances_version(self):
+        catalog = Catalog()
+        oid = catalog.register_object("t", "user")
+        catalog.publish(IdentityObject(oid, "t", 1, 100, 1, 5, "user"))
+        assert catalog.current(oid).version == 1
+        assert catalog.identity(oid, 0).version == 0
+
+    def test_publish_must_advance(self):
+        catalog = Catalog()
+        oid = catalog.register_object("t", "user")
+        catalog.publish(IdentityObject(oid, "t", 1, 100, 1, 5, "user"))
+        with pytest.raises(CatalogError):
+            catalog.publish(IdentityObject(oid, "t", 1, 200, 1, 5, "user"))
+
+    def test_drop_version(self):
+        catalog = Catalog()
+        oid = catalog.register_object("t", "user")
+        catalog.publish(IdentityObject(oid, "t", 1, 100, 1, 5, "user"))
+        catalog.drop_version(oid, 0)
+        assert not catalog.has_version(oid, 0)
+        with pytest.raises(CatalogError):
+            catalog.drop_version(oid, 1)  # current version protected
+
+    def test_serialization_roundtrip(self):
+        catalog = Catalog()
+        oid = catalog.register_object("t", "user")
+        catalog.publish(IdentityObject(oid, "t", 1, 42, 2, 7, "user"))
+        restored = Catalog.from_bytes(catalog.to_bytes())
+        assert restored.current(oid).root_locator == 42
+        assert restored.object_names() == ["t"]
+
+    def test_drop_object(self):
+        catalog = Catalog()
+        oid = catalog.register_object("t", "user")
+        catalog.drop_object(oid)
+        assert not catalog.has_object("t")
+
+
+def make_cloud():
+    profile = ObjectStoreProfile(name="s3", consistency=STRONG,
+                                 transient_failure_probability=0.0)
+    store = SimulatedObjectStore(profile, clock=VirtualClock())
+    return CloudDbspace("user", DirectObjectIO(RetryingObjectClient(store)),
+                        CounterKeys())
+
+
+def make_block():
+    device = BlockDevice(ram_disk(), 4096, 1000, clock=VirtualClock())
+    return BlockDbspace("sys", device)
+
+
+class TestCloudDbspace:
+    def test_every_write_gets_a_fresh_key(self):
+        dbspace = make_cloud()
+        first = dbspace.write_page(b"v1")
+        # in_place_ok is ignored on cloud dbspaces (never-write-twice).
+        second = dbspace.write_page(b"v2", replace_locator=first,
+                                    in_place_ok=True)
+        assert second != first
+        assert is_object_key(first) and is_object_key(second)
+        assert dbspace.read_page(first) == b"v1"
+        assert dbspace.read_page(second) == b"v2"
+
+    def test_write_pages_batch(self):
+        dbspace = make_cloud()
+        locators = dbspace.write_pages([b"a", b"b", b"c"])
+        assert len(set(locators)) == 3
+        assert dbspace.read_pages(locators)[locators[1]] == b"b"
+
+    def test_poll_and_free(self):
+        dbspace = make_cloud()
+        locator = dbspace.write_page(b"x")
+        assert dbspace.poll_and_free(locator) is True
+        assert dbspace.poll_and_free(locator) is False  # already gone
+
+    def test_block_locator_rejected(self):
+        dbspace = make_cloud()
+        with pytest.raises(DbspaceError):
+            dbspace.read_page(make_block_locator(0, 1))
+
+
+class TestBlockDbspace:
+    def test_update_in_place_when_fresh(self):
+        dbspace = make_block()
+        locator = dbspace.write_page(b"v1")
+        same = dbspace.write_page(b"v2", replace_locator=locator,
+                                  in_place_ok=True)
+        assert same == locator
+        assert dbspace.read_page(locator) == b"v2"
+
+    def test_no_in_place_without_permission(self):
+        dbspace = make_block()
+        locator = dbspace.write_page(b"v1")
+        other = dbspace.write_page(b"v2", replace_locator=locator,
+                                   in_place_ok=False)
+        assert other != locator
+
+    def test_in_place_needs_fitting_size(self):
+        dbspace = make_block()
+        locator = dbspace.write_page(b"x")
+        bigger = dbspace.write_page(b"y" * 8192, replace_locator=locator,
+                                    in_place_ok=True)
+        assert bigger != locator
+
+    def test_free_page_returns_blocks(self):
+        dbspace = make_block()
+        locator = dbspace.write_page(b"x" * 5000)
+        used = dbspace.freelist.used_blocks
+        dbspace.free_page(locator)
+        assert dbspace.freelist.used_blocks < used
+
+    def test_freelist_device_agreement_checked(self):
+        device = BlockDevice(ram_disk(), 4096, 1000, clock=VirtualClock())
+        from repro.blockstore.freelist import Freelist
+
+        with pytest.raises(DbspaceError):
+            BlockDbspace("sys", device, Freelist(999))
