@@ -1,0 +1,67 @@
+"""A scripted object-store storm, survived with zero committed-data loss.
+
+Attaches the canonical fault schedule — a 10 s full outage at t=5 followed
+by 30 s of 20% request errors, quarter-rate per-prefix throttling and 4x
+latency — to an engine wired with the resilient client (decorrelated-jitter
+retries, hedged GETs, circuit breaker) and a degraded-mode OCM.  A writer
+keeps committing through the storm while readers touch recently committed
+pages; afterwards every cache is dropped and all committed data is read
+back from the store byte-for-byte.
+
+Everything runs on the virtual clock, so the whole storm replays
+bit-identically for a given seed (try `--seed`).
+
+Run with:  python examples/chaos_storm.py
+"""
+
+import argparse
+
+from repro.bench.report import format_table
+from repro.cli import run_chaos_scenario
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--schedule", default="storm",
+                        choices=["storm", "outage", "latency", "throttle"])
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    result = run_chaos_scenario(args.schedule, seed=args.seed)
+
+    client = result["client_metrics"]
+    store = result["store_metrics"]
+    ocm = result["ocm_metrics"]
+    rows = [
+        ["commits ok / failed",
+         f'{result["commits_ok"]} / {result["commits_failed"]}'],
+        ["committed pages", result["committed_pages"]],
+        ["reads failed fast (breaker open)", result["reads_failed_fast"]],
+        ["outage / storm failures",
+         f'{store.get("fault_outage_failures", 0):.0f} / '
+         f'{store.get("fault_storm_failures", 0):.0f}'],
+        ["throttled requests", f'{store.get("fault_throttled_requests", 0):.0f}'],
+        ["breaker opened / closed",
+         f'{client.get("breaker_opened", 0):.0f} / '
+         f'{client.get("breaker_closed", 0):.0f}'],
+        ["hedged GETs / hedge wins",
+         f'{client.get("hedged_gets", 0):.0f} / '
+         f'{client.get("hedge_wins", 0):.0f}'],
+        ["degraded cache reads", f'{ocm.get("degraded_reads", 0):.0f}'],
+        ["degraded queued writes", f'{ocm.get("degraded_queued_writes", 0):.0f}'],
+        ["p99 GET latency (s)", f'{result["p99_get_latency"]:.3f}'],
+        ["durability mismatches", result["mismatches"]],
+    ]
+    print(format_table(["metric", "value"], rows))
+
+    if result["mismatches"] == 0:
+        print(
+            "\nZero committed-data loss: every page of every committed"
+            "\ntransaction read back byte-identical after the storm."
+        )
+    else:
+        raise SystemExit(f'{result["mismatches"]} pages mismatched!')
+
+
+if __name__ == "__main__":
+    main()

@@ -5,14 +5,17 @@ Commands:
 - ``quickstart`` — tiny end-to-end demo (load, query, storage stats),
 - ``tpch`` — load TPC-H at a scale factor and run benchmark queries,
 - ``compare`` — the S3 vs EBS vs EFS comparison (Tables 2/4 in miniature),
-- ``table1`` — print the paper's Table 1 recovery walkthrough.
+- ``table1`` — print the paper's Table 1 recovery walkthrough,
+- ``chaos`` — run a named fault schedule against a live engine and report
+  resilience metrics (breaker transitions, hedges, degraded reads) plus a
+  committed-data durability check.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.bench.configs import load_engine
 from repro.bench.report import format_table, geomean
@@ -100,6 +103,178 @@ def cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def run_chaos_scenario(
+    schedule_name: str = "storm",
+    seed: int = 0,
+    start: float = 5.0,
+    pages: int = 6,
+    settle: float = 5.0,
+) -> "Dict[str, object]":
+    """Drive an engine through a named fault schedule; return the evidence.
+
+    A writer keeps committing generations of pages while the schedule
+    plays out; interleaved readers touch recently committed pages (cache
+    hits keep working in degraded mode, misses fail fast).  After the
+    schedule's horizon the caches are dropped and every committed page is
+    read back from the store — the durability check.  Entirely
+    deterministic for a given ``(schedule_name, seed)``.
+    """
+    from repro.engine import Database, DatabaseConfig
+    from repro.objectstore.client import (
+        CircuitBreakerConfig,
+        HedgePolicy,
+        RetryPolicy,
+    )
+    from repro.objectstore.errors import (
+        CircuitOpenError,
+        RetriesExhaustedError,
+    )
+    from repro.objectstore.faults import named_schedule
+
+    schedule = named_schedule(schedule_name, start=start)
+    db = Database(DatabaseConfig(
+        seed=seed,
+        buffer_capacity_bytes=8 << 20,
+        ocm_capacity_bytes=32 << 20,
+        page_size=16 * 1024,
+        fault_schedule=schedule,
+        breaker=CircuitBreakerConfig(failure_threshold=3, reset_timeout=2.0),
+        hedge=HedgePolicy(),
+        retry=RetryPolicy(max_attempts=60, initial_backoff=0.05,
+                          backoff_multiplier=1.5, max_backoff=2.0,
+                          jitter="decorrelated"),
+    ))
+    db.create_object("t")
+    committed: "Dict[int, bytes]" = {}
+    generation = 0
+    commits_ok = 0
+    commits_failed = 0
+    reads_failed_fast = 0
+    horizon = schedule.horizon + settle
+    while db.clock.now() < horizon:
+        txn = db.begin()
+        staged: "Dict[int, bytes]" = {}
+        try:
+            for page in range(pages):
+                payload = b"gen-%d-page-%d" % (generation, page)
+                db.write_page(txn, "t", page, payload)
+                staged[page] = payload
+            db.commit(txn)
+            committed.update(staged)
+            commits_ok += 1
+        except (CircuitOpenError, RetriesExhaustedError):
+            try:
+                db.rollback(txn)
+            except Exception:
+                pass
+            commits_failed += 1
+        if committed:
+            # A health probe that does NOT bypass the breaker: during an
+            # outage its consecutive failures open the circuit, putting
+            # the OCM into degraded mode for the reads below.
+            try:
+                db.object_client.exists("health/probe")
+            except (CircuitOpenError, RetriesExhaustedError):
+                pass
+            # Force reads through the OCM (and, every few generations,
+            # all the way to the store) so degraded-mode cache serving
+            # and hedged GETs actually get exercised.
+            db.buffer.invalidate_all()
+            if db.ocm is not None and generation % 5 == 4:
+                db.ocm.invalidate_all()
+            reader = db.begin()
+            for page in sorted(committed)[:3]:
+                try:
+                    db.read_page(reader, "t", page)
+                except (CircuitOpenError, RetriesExhaustedError):
+                    reads_failed_fast += 1
+            try:
+                db.commit(reader)
+            except Exception:
+                db.rollback(reader)
+        generation += 1
+        # Fail-fast paths consume no virtual time; keep the clock moving
+        # so the schedule always plays out in bounded iterations.
+        db.clock.advance(0.25)
+    # Recovery: drop every cache and verify committed data byte-for-byte.
+    db.buffer.invalidate_all()
+    if db.ocm is not None:
+        db.ocm.drain_all()
+        db.ocm.invalidate_all()
+    mismatches = 0
+    reader = db.begin()
+    for page, payload in sorted(committed.items()):
+        if db.read_page(reader, "t", page) != payload:
+            mismatches += 1
+    db.commit(reader)
+    return {
+        "schedule": schedule_name,
+        "seed": seed,
+        "generations": generation,
+        "commits_ok": commits_ok,
+        "commits_failed": commits_failed,
+        "reads_failed_fast": reads_failed_fast,
+        "committed_pages": len(committed),
+        "mismatches": mismatches,
+        "client_metrics": db.object_client.metrics.snapshot(),
+        "store_metrics": db.object_store.metrics.snapshot(),
+        "ocm_metrics": db.ocm.metrics.snapshot() if db.ocm is not None else {},
+        "breaker_transitions": (
+            db.object_client.metrics.series("breaker_transitions").samples
+        ),
+        "p99_get_latency": (
+            db.object_client.metrics.histogram("get_latency").percentile(99.0)
+        ),
+        "virtual_seconds": db.clock.now(),
+    }
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    result = run_chaos_scenario(
+        schedule_name=args.schedule,
+        seed=args.seed,
+        start=args.start,
+        pages=args.pages,
+    )
+    client = result["client_metrics"]
+    store = result["store_metrics"]
+    ocm = result["ocm_metrics"]
+    rows = [
+        ["virtual seconds", result["virtual_seconds"]],
+        ["commits ok / failed",
+         f"{result['commits_ok']} / {result['commits_failed']}"],
+        ["committed pages verified", result["committed_pages"]],
+        ["durability mismatches", result["mismatches"]],
+        ["breaker opened / closed",
+         f"{client.get('breaker_opened', 0):.0f} / "
+         f"{client.get('breaker_closed', 0):.0f}"],
+        ["breaker fast failures", client.get("breaker_fast_failures", 0)],
+        ["hedged GETs / hedge wins",
+         f"{client.get('hedged_gets', 0):.0f} / "
+         f"{client.get('hedge_wins', 0):.0f}"],
+        ["deadline expirations", client.get("deadline_expirations", 0)],
+        ["retries (put/get/delete)",
+         f"{client.get('put_retries', 0):.0f}/"
+         f"{client.get('get_retries', 0):.0f}/"
+         f"{client.get('delete_retries', 0):.0f}"],
+        ["scheduled outage failures", store.get("fault_outage_failures", 0)],
+        ["scheduled storm failures", store.get("fault_storm_failures", 0)],
+        ["throttled-by-storm requests",
+         store.get("fault_throttled_requests", 0)],
+        ["degraded cache reads", ocm.get("degraded_reads", 0)],
+        ["degraded queued writes", ocm.get("degraded_queued_writes", 0)],
+        ["p99 GET latency (s)", result["p99_get_latency"]],
+    ]
+    print(f"chaos schedule {result['schedule']!r} (seed {result['seed']})")
+    print(format_table(["metric", "value"], rows))
+    if result["mismatches"]:
+        print(f"DURABILITY VIOLATION: {result['mismatches']} committed "
+              "pages did not read back intact")
+        return 1
+    print("all committed data read back byte-identical after recovery")
+    return 0
+
+
 def cmd_table1(args: argparse.Namespace) -> int:
     import pathlib
     benchmarks = pathlib.Path(__file__).resolve().parents[2] / "benchmarks"
@@ -139,6 +314,18 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--instance", default="m5ad.24xlarge")
 
     sub.add_parser("table1", help="print the Table 1 recovery walkthrough")
+
+    chaos = sub.add_parser(
+        "chaos", help="run a named fault schedule and report resilience"
+    )
+    chaos.add_argument("--schedule", default="storm",
+                       choices=["storm", "outage", "latency", "throttle"],
+                       help="named fault schedule to run")
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument("--start", type=float, default=5.0,
+                       help="virtual time at which the schedule begins")
+    chaos.add_argument("--pages", type=int, default=6,
+                       help="pages written per committed generation")
     return parser
 
 
@@ -149,6 +336,7 @@ def main(argv: "Optional[List[str]]" = None) -> int:
         "tpch": cmd_tpch,
         "compare": cmd_compare,
         "table1": cmd_table1,
+        "chaos": cmd_chaos,
     }
     return handlers[args.command](args)
 

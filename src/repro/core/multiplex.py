@@ -31,6 +31,7 @@ from repro.core.txn import Transaction, TransactionError
 from repro.engine import Database, DatabaseConfig, NodeRuntime, SYSTEM_DBSPACE, USER_DBSPACE
 from repro.blockstore.profiles import nvme_ssd
 from repro.objectstore.client import RetryingObjectClient
+from repro.objectstore.faults import FaultSchedule, OutageWindow
 from repro.sim.cpu import CpuModel
 from repro.sim.devices import raid0, scaled_profile
 from repro.sim.metrics import MetricsRegistry
@@ -119,6 +120,10 @@ class SecondaryNode:
             policy=coordinator.config.retry,
             parallel_window=coordinator.config.parallel_window,
             bandwidth=self.nic,
+            node_id=node_id,
+            breaker=coordinator.config.breaker,
+            hedge=coordinator.config.hedge,
+            rng=coordinator.rng.substream(f"client/{node_id}"),
         )
         self.ocm: "Optional[ObjectCacheManager]" = None
         if config.ocm_enabled:
@@ -319,6 +324,31 @@ class Multiplex:
                     if user.poll_and_free(key):
                         reclaimed += 1
         return reclaimed
+
+    def inject_store_outage(self, node_id: str, window) -> OutageWindow:
+        """Model a per-node network partition from the shared bucket.
+
+        ``window`` is either ``(start, end)`` in virtual seconds or an
+        :class:`~repro.objectstore.faults.OutageWindow` (re-scoped to the
+        node).  Only the named node's requests fail during the window —
+        the coordinator and other secondaries keep the bucket, which is
+        exactly the asymmetric partition the paper's restart-GC protocol
+        has to tolerate.
+        """
+        self.node(node_id)  # validates the node exists
+        if isinstance(window, OutageWindow):
+            event = OutageWindow(window.start, window.end, ops=window.ops,
+                                 prefix=window.prefix, node=node_id)
+        else:
+            start, end = window
+            event = OutageWindow(start, end, node=node_id)
+        store = self.coordinator.object_store
+        if store is None:
+            raise MultiplexError("multiplex requires an S3 user dbspace")
+        if store.fault_schedule is None:
+            store.fault_schedule = FaultSchedule(name="injected")
+        store.fault_schedule.add(event)
+        return event
 
     def coordinator_crash_and_recover(self) -> None:
         """Crash and recover the coordinator (Table 1, clocks 110-120).

@@ -50,6 +50,12 @@ class OcmConfig:
     # monitor SSD vs object-store read latency and re-route cache hits to
     # the object store while asynchronous fills saturate the SSD.
     adaptive_read_routing: bool = False
+    # Degraded mode: while the client's circuit breaker is open, serve
+    # reads from the SSD cache, keep queuing write-backs locally, and
+    # drain the backlog when the breaker closes.  Write-through-at-commit
+    # stays enforced throughout: commit uploads bypass the breaker's
+    # fail-fast and ride the retry policy through the outage.
+    degraded_mode: bool = True
 
 
 class _CacheEntry:
@@ -103,6 +109,50 @@ class ObjectCacheManager(ObjectIO):
         self._pending: "Dict[int, List[_PendingUpload]]" = {}
         self._anonymous_pending: "List[_PendingUpload]" = []
         self._upload_inflight: "List[float]" = []
+        self._was_degraded = False
+
+    # ------------------------------------------------------------------ #
+    # degraded mode (client circuit breaker open)
+    # ------------------------------------------------------------------ #
+
+    def degraded(self) -> bool:
+        """Whether the OCM is currently serving in degraded mode."""
+        return (
+            self.config.degraded_mode
+            and self.client.breaker is not None
+            and self.client.breaker_state() == "open"
+        )
+
+    def _track_degradation(self) -> None:
+        """Note breaker transitions; drain the backlog on recovery.
+
+        Called on every public operation.  When the breaker closes after a
+        degraded period, queued *anonymous* write-backs are drained in the
+        background (transaction-scoped queues keep waiting for their
+        commit's FlushForCommit, as always).
+        """
+        if self.degraded():
+            self._was_degraded = True
+            self.metrics.gauge("degraded_queue_depth").set(
+                self.pending_upload_count()
+            )
+            return
+        if not self._was_degraded:
+            return
+        self._was_degraded = False
+        jobs, self._anonymous_pending = self._anonymous_pending, []
+        for job in jobs:
+            self._schedule_upload(job)
+            entry = self._entries.get(job.name)
+            if entry is not None:
+                entry.uploaded = True
+                entry.in_lru = True
+        if jobs:
+            self.metrics.counter("degraded_drained_uploads").increment(len(jobs))
+        self.metrics.counter("degraded_recoveries").increment()
+        self.metrics.gauge("degraded_queue_depth").set(
+            self.pending_upload_count()
+        )
 
     # ------------------------------------------------------------------ #
     # cache bookkeeping
@@ -209,9 +259,20 @@ class ObjectCacheManager(ObjectIO):
         )
 
     def get(self, name: str) -> bytes:
+        self._track_degradation()
         now = self.clock.now()
+        degraded = self.degraded()
         entry = self._entries.get(name)
         if entry is not None:
+            if degraded:
+                # Degraded mode: the store is fenced off; serve the hit
+                # from the SSD without considering adaptive rerouting.
+                done = self.device.read(entry.size, now)
+                self.clock.advance_to(done)
+                self._touch(name)
+                self.metrics.counter("hits").increment()
+                self.metrics.counter("degraded_reads").increment()
+                return entry.data
             if entry.uploaded and self._should_reroute(entry.size, now):
                 # Adaptive routing: the SSD is saturated with asynchronous
                 # fills; serve this hit from the object store instead.
@@ -238,7 +299,9 @@ class ObjectCacheManager(ObjectIO):
 
     def get_many(self, names: "Sequence[str]") -> "Dict[str, bytes]":
         """Parallel read: SSD hits and object store misses overlap."""
+        self._track_degradation()
         t0 = self.clock.now()
+        degraded = self.degraded()
         results: Dict[str, bytes] = {}
         hit_last = t0
         misses: List[str] = []
@@ -246,6 +309,14 @@ class ObjectCacheManager(ObjectIO):
         for name in names:
             entry = self._entries.get(name)
             if entry is not None:
+                if degraded:
+                    done = self.device.read(entry.size, t0)
+                    hit_last = max(hit_last, done)
+                    self._touch(name)
+                    self.metrics.counter("hits").increment()
+                    self.metrics.counter("degraded_reads").increment()
+                    results[name] = entry.data
+                    continue
                 if entry.uploaded and self._should_reroute(entry.size, t0):
                     rerouted.append(name)
                     self._touch(name)
@@ -284,14 +355,21 @@ class ObjectCacheManager(ObjectIO):
 
     def put(self, name: str, data: bytes, txn_id: "Optional[int]" = None,
             commit_mode: bool = False) -> None:
+        self._track_degradation()
         if commit_mode:
             self._put_write_through(name, data)
         else:
             self._put_write_back(name, data, txn_id)
 
     def _put_write_through(self, name: str, data: bytes) -> None:
-        """Synchronous upload, asynchronous local caching."""
-        done = self.client.put_at(name, data, self.clock.now())
+        """Synchronous upload, asynchronous local caching.
+
+        Commit-critical: bypasses the circuit breaker's fail-fast so the
+        write-through-at-commit invariant holds through an outage (the
+        retry policy, not the breaker, decides when to give up).
+        """
+        done = self.client.put_at(name, data, self.clock.now(),
+                                  bypass_breaker=True)
         self.clock.advance_to(done)
         self.device.write(len(data), self.clock.now())
         self._insert(name, data, uploaded=True, in_lru=True)
@@ -310,13 +388,20 @@ class ObjectCacheManager(ObjectIO):
         else:
             self._pending.setdefault(txn_id, []).append(job)
         self.metrics.counter("write_back").increment()
+        if self.degraded():
+            self.metrics.counter("degraded_queued_writes").increment()
+            self.metrics.gauge("degraded_queue_depth").set(
+                self.pending_upload_count()
+            )
 
     def put_many(self, items: "Sequence[Tuple[str, bytes]]",
                  txn_id: "Optional[int]" = None,
                  commit_mode: bool = False) -> None:
+        self._track_degradation()
         if commit_mode:
             # Parallel synchronous uploads, asynchronous cache fills.
-            self.client.put_many(items, window=self.config.upload_window)
+            self.client.put_many(items, window=self.config.upload_window,
+                                 bypass_breaker=True)
             fill_time = self.clock.now()
             for name, data in items:
                 self.device.write(len(data), fill_time)
@@ -334,7 +419,10 @@ class ObjectCacheManager(ObjectIO):
         start = max(job.enqueue_time, self.clock.now())
         if len(self._upload_inflight) >= self.config.upload_window:
             start = max(start, heapq.heappop(self._upload_inflight))
-        done = self.client.put_at(job.name, job.data, start)
+        # Queued write-backs drain on the commit/recovery path, where the
+        # data must reach the store: bypass the breaker's fail-fast.
+        done = self.client.put_at(job.name, job.data, start,
+                                  bypass_breaker=True)
         heapq.heappush(self._upload_inflight, done)
         return done
 
@@ -344,6 +432,7 @@ class ObjectCacheManager(ObjectIO):
         The committing transaction's jobs jump ahead of other transactions'
         still-unscheduled background work; the commit waits for them.
         """
+        self._track_degradation()
         jobs = self._pending.pop(txn_id, [])
         last = self.clock.now()
         for job in jobs:
@@ -409,6 +498,7 @@ class ObjectCacheManager(ObjectIO):
         self._pending.clear()
         self._anonymous_pending.clear()
         self._used = 0
+        self._was_degraded = False
 
     def stats(self) -> "Dict[str, float]":
         """Hit/miss/eviction counters (Table 5)."""

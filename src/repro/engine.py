@@ -30,8 +30,14 @@ from repro.core.recovery import encode_checkpoint, recover
 from repro.core.snapshot import Snapshot, SnapshotManager
 from repro.core.txn import Transaction, TransactionError, TransactionManager
 from repro.costs.meter import CostMeter
-from repro.objectstore.client import RetryPolicy, RetryingObjectClient
+from repro.objectstore.client import (
+    CircuitBreakerConfig,
+    HedgePolicy,
+    RetryPolicy,
+    RetryingObjectClient,
+)
 from repro.objectstore.consistency import ConsistencyModel, EVENTUAL
+from repro.objectstore.faults import FaultSchedule
 from repro.objectstore.s3sim import ObjectStoreProfile, S3_PROFILE, SimulatedObjectStore
 from repro.sim.clock import VirtualClock
 from repro.sim.cpu import CpuModel
@@ -89,6 +95,11 @@ class DatabaseConfig:
     prefix_bits: int = 16
     parallel_window: int = 32
     retry: RetryPolicy = field(default_factory=RetryPolicy)
+    # resilience machinery (None = disabled, preserving baseline behaviour)
+    breaker: "Optional[CircuitBreakerConfig]" = None
+    hedge: "Optional[HedgePolicy]" = None
+    # scripted fault injection against the user object store
+    fault_schedule: "Optional[FaultSchedule]" = None
     # page encryption: with a key, the OCM cache and the objects at rest
     # hold ciphertext only (Section 4)
     encryption_key: "Optional[bytes]" = None
@@ -325,11 +336,16 @@ class Database:
                 rng=self.rng.substream("s3"),
                 bandwidth=self.nic,
                 meter=self.meter,
+                fault_schedule=cfg.fault_schedule,
             )
             self.object_client = RetryingObjectClient(
                 self.object_store,
                 policy=cfg.retry,
                 parallel_window=cfg.parallel_window,
+                node_id=cfg.node_id,
+                breaker=cfg.breaker,
+                hedge=cfg.hedge,
+                rng=self.rng.substream("object-client"),
             )
             if cfg.ocm_enabled:
                 ssd = scaled_profile(
@@ -428,7 +444,9 @@ class Database:
             meter=self.meter,
         )
         client = RetryingObjectClient(
-            store, policy=cfg.retry, parallel_window=cfg.parallel_window
+            store, policy=cfg.retry, parallel_window=cfg.parallel_window,
+            node_id=cfg.node_id, breaker=cfg.breaker, hedge=cfg.hedge,
+            rng=self.rng.substream(f"object-client/{name}"),
         )
         encryptor = (
             PageEncryptor(cfg.encryption_key)

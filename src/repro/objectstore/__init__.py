@@ -15,6 +15,7 @@ paper's design reacts to:
 """
 
 from repro.objectstore.errors import (
+    CircuitOpenError,
     NoSuchKeyError,
     ObjectStoreError,
     OverwriteForbiddenError,
@@ -23,8 +24,25 @@ from repro.objectstore.errors import (
 from repro.objectstore.base import ObjectStore
 from repro.objectstore.memory import InMemoryObjectStore
 from repro.objectstore.consistency import ConsistencyModel, STRONG, EVENTUAL
+from repro.objectstore.faults import (
+    ErrorStorm,
+    FaultEvent,
+    FaultSchedule,
+    LatencySpike,
+    NAMED_SCHEDULES,
+    OutageWindow,
+    ThrottleStorm,
+    canonical_storm,
+    named_schedule,
+)
 from repro.objectstore.s3sim import ObjectStoreProfile, SimulatedObjectStore, S3_PROFILE
-from repro.objectstore.client import RetryingObjectClient, RetryPolicy
+from repro.objectstore.client import (
+    CircuitBreaker,
+    CircuitBreakerConfig,
+    HedgePolicy,
+    RetryingObjectClient,
+    RetryPolicy,
+)
 
 __all__ = [
     "ObjectStore",
@@ -37,8 +55,21 @@ __all__ = [
     "EVENTUAL",
     "RetryingObjectClient",
     "RetryPolicy",
+    "CircuitBreaker",
+    "CircuitBreakerConfig",
+    "HedgePolicy",
+    "FaultEvent",
+    "FaultSchedule",
+    "OutageWindow",
+    "ErrorStorm",
+    "LatencySpike",
+    "ThrottleStorm",
+    "NAMED_SCHEDULES",
+    "canonical_storm",
+    "named_schedule",
     "ObjectStoreError",
     "NoSuchKeyError",
     "OverwriteForbiddenError",
     "RetriesExhaustedError",
+    "CircuitOpenError",
 ]

@@ -7,9 +7,24 @@ This is the storage subsystem's view of the bucket:
   read-after-write consistency for never-overwritten keys (Section 3);
 - **writes retry on transient failures**; after the retry budget is
   exhausted the error propagates and the transaction layer rolls back;
+- **deadline budgets**: on top of the attempt count, a per-operation
+  virtual-time budget bounds how long an operation may keep retrying —
+  the resulting :class:`RetriesExhaustedError` records the deadline;
+- **decorrelated-jitter backoff** (optional): retries desynchronise, so a
+  storm of failed requests does not reconverge into synchronized retry
+  waves against a throttled prefix;
+- **hedged GETs** (optional): when a read's completion would land past the
+  client's observed p99 GET latency, a second request is fired after that
+  delay and the first completion wins — the classic tail-latency hedge;
+- **circuit breaker** (optional): after N consecutive transient failures
+  the breaker opens and requests fail fast with
+  :class:`CircuitOpenError`; after a cool-down, a half-open probe decides
+  whether to close it.  Commit-critical writes can *bypass* the breaker so
+  write-through-at-commit semantics survive an outage;
 - **never-write-twice enforcement** (optional): the client remembers every
-  key it has written and refuses to write one twice — a guard for the
-  engine's invariant and the knob for the update-in-place ablation;
+  key it has *successfully* written and refuses to write one twice — a
+  guard for the engine's invariant and the knob for the update-in-place
+  ablation;
 - **windowed parallel I/O**: ``get_many``/``put_many`` keep up to ``window``
   requests outstanding, modelling the aggressive parallel prefetching the
   paper relies on to mask S3 latency.
@@ -22,6 +37,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.objectstore.errors import (
+    CircuitOpenError,
     NoSuchKeyError,
     OverwriteForbiddenError,
     RetriesExhaustedError,
@@ -29,21 +45,177 @@ from repro.objectstore.errors import (
 from repro.objectstore.s3sim import SimulatedObjectStore, TransientRequestError
 from repro.sim.metrics import MetricsRegistry
 from repro.sim.pipes import Pipe
+from repro.sim.rng import DeterministicRng
 
 
 @dataclass(frozen=True)
 class RetryPolicy:
-    """Retry budget and backoff schedule (virtual seconds)."""
+    """Retry budget and backoff schedule (virtual seconds).
+
+    ``jitter="decorrelated"`` replaces the deterministic exponential
+    schedule with AWS-style decorrelated jitter: each delay is drawn
+    uniformly from ``[initial_backoff, 3 * previous_delay]`` (capped at
+    ``max_backoff``), using the client's deterministic RNG substream.
+    ``deadline`` bounds the total virtual time an operation may spend
+    retrying, independent of the attempt count (None = unbounded).
+    """
 
     max_attempts: int = 8
     initial_backoff: float = 0.010
     backoff_multiplier: float = 2.0
     max_backoff: float = 1.0
+    jitter: str = "none"  # "none" | "decorrelated"
+    deadline: "Optional[float]" = None
 
-    def backoff(self, attempt: int) -> float:
-        """Backoff before retry number ``attempt`` (1-based)."""
+    def __post_init__(self) -> None:
+        if self.jitter not in ("none", "decorrelated"):
+            raise ValueError(f"unknown jitter mode {self.jitter!r}")
+        if self.deadline is not None and self.deadline <= 0:
+            raise ValueError("retry deadline must be positive (or None)")
+
+    def backoff(self, attempt: int,
+                rng: "Optional[DeterministicRng]" = None,
+                previous: "Optional[float]" = None) -> float:
+        """Backoff before retry number ``attempt`` (1-based).
+
+        ``rng`` and ``previous`` (the previously returned delay) drive the
+        decorrelated-jitter mode; without them the schedule degrades to
+        plain capped exponential backoff.
+        """
+        if self.jitter == "decorrelated" and rng is not None:
+            prev = previous if previous is not None else self.initial_backoff
+            high = max(self.initial_backoff, 3.0 * prev)
+            return min(self.max_backoff,
+                       rng.uniform(self.initial_backoff, high))
         delay = self.initial_backoff * (self.backoff_multiplier ** (attempt - 1))
         return min(delay, self.max_backoff)
+
+
+@dataclass(frozen=True)
+class CircuitBreakerConfig:
+    """Circuit breaker thresholds (virtual seconds)."""
+
+    failure_threshold: int = 5
+    reset_timeout: float = 5.0
+    half_open_successes: int = 1
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ValueError("failure threshold must be at least 1")
+        if self.reset_timeout <= 0:
+            raise ValueError("reset timeout must be positive")
+        if self.half_open_successes < 1:
+            raise ValueError("half-open success count must be at least 1")
+
+
+@dataclass(frozen=True)
+class HedgePolicy:
+    """Hedged-GET policy: fire a second read after a p-quantile delay."""
+
+    quantile: float = 99.0
+    min_samples: int = 20
+    initial_delay: float = 0.050
+
+    def __post_init__(self) -> None:
+        if not 0 < self.quantile <= 100:
+            raise ValueError("hedge quantile must be in (0, 100]")
+        if self.min_samples < 1:
+            raise ValueError("hedge min_samples must be at least 1")
+        if self.initial_delay <= 0:
+            raise ValueError("hedge initial delay must be positive")
+
+
+_STATE_CODES = {"closed": 0.0, "half_open": 1.0, "open": 2.0}
+
+
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker on the virtual clock.
+
+    The breaker is driven entirely by the virtual times the client passes
+    in, so a chaos run replays bit-identically.  State transitions are
+    recorded as counters (``breaker_opened``/``breaker_closed``/
+    ``breaker_half_open``), a gauge (``breaker_state``: 0 closed, 1
+    half-open, 2 open) and a time series of ``(time, state_code)``
+    transition samples for boundary assertions.
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+    def __init__(self, config: CircuitBreakerConfig,
+                 metrics: MetricsRegistry) -> None:
+        self.config = config
+        self.metrics = metrics
+        self._state = self.CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._half_open_successes = 0
+        self.metrics.gauge("breaker_state").set(0.0)
+
+    @property
+    def consecutive_failures(self) -> int:
+        return self._consecutive_failures
+
+    def state_at(self, now: float) -> str:
+        """Effective state at ``now`` (an open breaker lapses to half-open)."""
+        if (
+            self._state == self.OPEN
+            and now >= self._opened_at + self.config.reset_timeout
+        ):
+            return self.HALF_OPEN
+        return self._state
+
+    def retry_at(self) -> float:
+        """Virtual time at which an open breaker admits a probe."""
+        return self._opened_at + self.config.reset_timeout
+
+    def admit(self, key: str, now: float) -> None:
+        """Fail fast with :class:`CircuitOpenError` while open."""
+        state = self.state_at(now)
+        if state == self.OPEN:
+            self.metrics.counter("breaker_fast_failures").increment()
+            raise CircuitOpenError(key, self.retry_at())
+        if state == self.HALF_OPEN and self._state == self.OPEN:
+            # The cool-down elapsed; this request is the half-open probe.
+            self._transition(self.HALF_OPEN, now)
+
+    def record_success(self, now: float) -> None:
+        if self._state == self.HALF_OPEN:
+            self._half_open_successes += 1
+            if self._half_open_successes >= self.config.half_open_successes:
+                self._transition(self.CLOSED, now)
+        elif self._state == self.OPEN:
+            # A breaker-bypassing operation (commit write-through) succeeded
+            # while open: the store is demonstrably healthy again.
+            self._transition(self.CLOSED, now)
+        self._consecutive_failures = 0
+
+    def record_failure(self, now: float) -> None:
+        self._consecutive_failures += 1
+        if self._state == self.HALF_OPEN:
+            self._transition(self.OPEN, now)
+        elif self._state == self.OPEN:
+            # Failures observed by bypassing operations re-arm the timer.
+            self._opened_at = now
+        elif self._consecutive_failures >= self.config.failure_threshold:
+            self._transition(self.OPEN, now)
+
+    def _transition(self, state: str, now: float) -> None:
+        self._state = state
+        if state == self.OPEN:
+            self._opened_at = now
+            self.metrics.counter("breaker_opened").increment()
+        elif state == self.HALF_OPEN:
+            self._half_open_successes = 0
+            self.metrics.counter("breaker_half_open").increment()
+        else:
+            self._consecutive_failures = 0
+            self.metrics.counter("breaker_closed").increment()
+        self.metrics.gauge("breaker_state").set(_STATE_CODES[state])
+        self.metrics.series("breaker_transitions").record(
+            now, _STATE_CODES[state]
+        )
 
 
 class RetryingObjectClient:
@@ -56,6 +228,10 @@ class RetryingObjectClient:
         enforce_unique_keys: bool = True,
         parallel_window: int = 32,
         bandwidth: "Optional[Pipe]" = None,
+        node_id: "Optional[str]" = None,
+        breaker: "Optional[CircuitBreakerConfig]" = None,
+        hedge: "Optional[HedgePolicy]" = None,
+        rng: "Optional[DeterministicRng]" = None,
     ) -> None:
         if policy.max_attempts < 1:
             raise ValueError("retry policy must allow at least one attempt")
@@ -68,55 +244,209 @@ class RetryingObjectClient:
         # The node's own NIC pipe; transfers route through it so several
         # multiplex nodes sharing one bucket each get their own bandwidth.
         self.bandwidth = bandwidth
+        self.node_id = node_id
         self.metrics = MetricsRegistry()
+        self.hedge = hedge
+        self.breaker: "Optional[CircuitBreaker]" = (
+            CircuitBreaker(breaker, self.metrics) if breaker is not None else None
+        )
+        self._rng = rng or DeterministicRng(
+            0, f"object-client/{node_id or 'default'}"
+        )
+        self._backoff_rng = self._rng.substream("backoff")
         self._written_keys: "set[str]" = set()
 
     @property
     def clock(self):
         return self.store.clock
 
+    def breaker_state(self, now: "Optional[float]" = None) -> str:
+        """Effective breaker state ("closed" when no breaker configured)."""
+        if self.breaker is None:
+            return CircuitBreaker.CLOSED
+        return self.breaker.state_at(self.clock.now() if now is None else now)
+
+    # ------------------------------------------------------------------ #
+    # retry plumbing
+    # ------------------------------------------------------------------ #
+
+    def _next_backoff(self, attempt: int,
+                      previous: "Optional[float]") -> float:
+        return self.policy.backoff(attempt, rng=self._backoff_rng,
+                                   previous=previous)
+
+    def _check_deadline(self, key: str, op_start: float, next_start: float,
+                        attempts: int) -> None:
+        deadline = self.policy.deadline
+        if deadline is not None and next_start - op_start > deadline:
+            self.metrics.counter("deadline_expirations").increment()
+            raise RetriesExhaustedError(key, attempts, deadline=deadline)
+
+    def _admit(self, key: str, now: float, bypass: bool) -> None:
+        if self.breaker is not None and not bypass:
+            self.breaker.admit(key, now)
+
+    def _note_failure(self, when: float) -> None:
+        if self.breaker is not None:
+            self.breaker.record_failure(when)
+
+    def _note_success(self, when: float) -> None:
+        if self.breaker is not None:
+            self.breaker.record_success(when)
+
     # ------------------------------------------------------------------ #
     # timed single-object operations (never advance the clock)
     # ------------------------------------------------------------------ #
 
-    def put_at(self, key: str, data: bytes, now: float) -> float:
-        """Upload with retry on transient failures; return completion time."""
-        if self.enforce_unique_keys:
-            if key in self._written_keys:
-                raise OverwriteForbiddenError(key)
-            self._written_keys.add(key)
+    def put_at(self, key: str, data: bytes, now: float,
+               bypass_breaker: bool = False) -> float:
+        """Upload with retry on transient failures; return completion time.
+
+        The never-write-twice ledger records ``key`` only after the store
+        accepted the write: a put that exhausted its retries leaves the
+        key unwritten, so a later legitimate re-put may succeed.
+        """
+        if self.enforce_unique_keys and key in self._written_keys:
+            raise OverwriteForbiddenError(key)
         when = now
+        previous: "Optional[float]" = None
         for attempt in range(1, self.policy.max_attempts + 1):
+            self._admit(key, when, bypass_breaker)
             try:
-                return self.store.put_at(key, data, when,
-                                         bandwidth=self.bandwidth)
+                done = self.store.put_at(key, data, when,
+                                         bandwidth=self.bandwidth,
+                                         node=self.node_id)
             except TransientRequestError as error:
+                failed_at = error.failed_at  # type: ignore[attr-defined]
+                self._note_failure(failed_at)
                 self.metrics.counter("put_retries").increment()
-                when = error.failed_at + self.policy.backoff(attempt)  # type: ignore[attr-defined]
+                previous = self._next_backoff(attempt, previous)
+                when = failed_at + previous
+                self._check_deadline(key, now, when, attempt)
+                continue
+            self._note_success(done)
+            if self.enforce_unique_keys:
+                self._written_keys.add(key)
+            return done
         raise RetriesExhaustedError(key, self.policy.max_attempts)
+
+    def _hedge_delay(self) -> float:
+        assert self.hedge is not None
+        latencies = self.metrics.histogram("get_latency")
+        if latencies.count >= self.hedge.min_samples:
+            return max(latencies.percentile(self.hedge.quantile), 1e-9)
+        return self.hedge.initial_delay
+
+    def _try_get_once(
+        self, key: str, when: float
+    ) -> "Tuple[Optional[bytes], float]":
+        """One (possibly hedged) GET attempt against the store."""
+        latencies = self.metrics.histogram("get_latency")
+        if self.hedge is None:
+            data, done = self.store.try_get_at(key, when,
+                                               bandwidth=self.bandwidth,
+                                               node=self.node_id)
+            latencies.observe(done - when)
+            return data, done
+        delay = self._hedge_delay()
+        primary_error: "Optional[TransientRequestError]" = None
+        data: "Optional[bytes]" = None
+        try:
+            data, done = self.store.try_get_at(key, when,
+                                               bandwidth=self.bandwidth,
+                                               node=self.node_id)
+        except TransientRequestError as error:
+            primary_error = error
+            done = error.failed_at  # type: ignore[attr-defined]
+        if done - when <= delay:
+            if primary_error is not None:
+                raise primary_error
+            latencies.observe(done - when)
+            return data, done
+        # The primary response would land past the hedge delay: fire the
+        # hedge and take whichever completion comes first.
+        self.metrics.counter("hedged_gets").increment()
+        try:
+            hedge_data, hedge_done = self.store.try_get_at(
+                key, when + delay, bandwidth=self.bandwidth, node=self.node_id
+            )
+        except TransientRequestError:
+            if primary_error is not None:
+                raise primary_error
+            latencies.observe(done - when)
+            return data, done
+        if primary_error is not None or hedge_done < done:
+            self.metrics.counter("hedge_wins").increment()
+            latencies.observe(hedge_done - when)
+            return hedge_data, hedge_done
+        latencies.observe(done - when)
+        return data, done
 
     def get_at(self, key: str, now: float) -> "Tuple[bytes, float]":
         """Read with retry on "no such key" and transient failures."""
         when = now
+        previous: "Optional[float]" = None
         for attempt in range(1, self.policy.max_attempts + 1):
+            self._admit(key, when, bypass=False)
             try:
-                data, done = self.store.try_get_at(key, when,
-                                                   bandwidth=self.bandwidth)
+                data, done = self._try_get_once(key, when)
             except TransientRequestError as error:
+                failed_at = error.failed_at  # type: ignore[attr-defined]
+                self._note_failure(failed_at)
                 self.metrics.counter("get_retries").increment()
-                when = error.failed_at + self.policy.backoff(attempt)  # type: ignore[attr-defined]
+                previous = self._next_backoff(attempt, previous)
+                when = failed_at + previous
+                self._check_deadline(key, now, when, attempt)
                 continue
+            self._note_success(done)
             if data is not None:
                 return data, done
             self.metrics.counter("not_found_retries").increment()
-            when = done + self.policy.backoff(attempt)
+            previous = self._next_backoff(attempt, previous)
+            when = done + previous
+            self._check_deadline(key, now, when, attempt)
         raise RetriesExhaustedError(key, self.policy.max_attempts)
 
     def delete_at(self, key: str, now: float) -> float:
-        return self.store.delete_at(key, now)
+        """Delete with retry on transient failures (GC batches)."""
+        when = now
+        previous: "Optional[float]" = None
+        for attempt in range(1, self.policy.max_attempts + 1):
+            self._admit(key, when, bypass=False)
+            try:
+                done = self.store.delete_at(key, when, node=self.node_id)
+            except TransientRequestError as error:
+                failed_at = error.failed_at  # type: ignore[attr-defined]
+                self._note_failure(failed_at)
+                self.metrics.counter("delete_retries").increment()
+                previous = self._next_backoff(attempt, previous)
+                when = failed_at + previous
+                self._check_deadline(key, now, when, attempt)
+                continue
+            self._note_success(done)
+            return done
+        raise RetriesExhaustedError(key, self.policy.max_attempts)
 
     def exists_at(self, key: str, now: float) -> "Tuple[bool, float]":
-        return self.store.exists_at(key, now)
+        """Visibility probe with retry on transient failures (restart GC)."""
+        when = now
+        previous: "Optional[float]" = None
+        for attempt in range(1, self.policy.max_attempts + 1):
+            self._admit(key, when, bypass=False)
+            try:
+                visible, done = self.store.exists_at(key, when,
+                                                     node=self.node_id)
+            except TransientRequestError as error:
+                failed_at = error.failed_at  # type: ignore[attr-defined]
+                self._note_failure(failed_at)
+                self.metrics.counter("head_retries").increment()
+                previous = self._next_backoff(attempt, previous)
+                when = failed_at + previous
+                self._check_deadline(key, now, when, attempt)
+                continue
+            self._note_success(done)
+            return visible, done
+        raise RetriesExhaustedError(key, self.policy.max_attempts)
 
     # ------------------------------------------------------------------ #
     # synchronous wrappers (advance the clock)
@@ -146,6 +476,7 @@ class RetryingObjectClient:
         self,
         jobs: "Sequence[Tuple[str, Optional[bytes]]]",
         window: "Optional[int]",
+        bypass_breaker: bool = False,
     ) -> "Dict[str, bytes]":
         """Run get (data=None) / put jobs with bounded outstanding requests."""
         width = window or self.parallel_window
@@ -161,7 +492,8 @@ class RetryingObjectClient:
                 data, done = self.get_at(key, start)
                 results[key] = data
             else:
-                done = self.put_at(key, payload, start)
+                done = self.put_at(key, payload, start,
+                                   bypass_breaker=bypass_breaker)
             heapq.heappush(inflight, done)
             last_completion = max(last_completion, done)
         self.clock.advance_to(last_completion)
@@ -177,8 +509,10 @@ class RetryingObjectClient:
         self,
         items: "Iterable[Tuple[str, bytes]]",
         window: "Optional[int]" = None,
+        bypass_breaker: bool = False,
     ) -> None:
-        self._run_window([(key, data) for key, data in items], window)
+        self._run_window([(key, data) for key, data in items], window,
+                         bypass_breaker=bypass_breaker)
 
     def delete_many(
         self, keys: "Iterable[str]", window: "Optional[int]" = None

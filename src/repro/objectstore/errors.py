@@ -30,9 +30,40 @@ class OverwriteForbiddenError(ObjectStoreError):
 
 
 class RetriesExhaustedError(ObjectStoreError):
-    """An operation kept failing past the configured retry budget."""
+    """An operation kept failing past the configured retry budget.
 
-    def __init__(self, key: str, attempts: int) -> None:
-        super().__init__(f"gave up on key {key!r} after {attempts} attempts")
+    ``deadline`` is set when the per-operation deadline budget (not the
+    attempt count) is what stopped the retries — callers distinguishing
+    "slow store" from "dead store" read it off the exception.
+    """
+
+    def __init__(self, key: str, attempts: int,
+                 deadline: "float | None" = None) -> None:
+        if deadline is not None:
+            message = (
+                f"gave up on key {key!r} after {attempts} attempts "
+                f"(deadline budget {deadline:g}s exhausted)"
+            )
+        else:
+            message = f"gave up on key {key!r} after {attempts} attempts"
+        super().__init__(message)
         self.key = key
         self.attempts = attempts
+        self.deadline = deadline
+
+
+class CircuitOpenError(ObjectStoreError):
+    """The client's circuit breaker is open: fail fast, don't call the store.
+
+    ``retry_at`` is the virtual time at which the breaker will admit a
+    half-open probe; degraded-mode callers (the OCM) use it to decide how
+    long to keep serving from cache.
+    """
+
+    def __init__(self, key: str, retry_at: float) -> None:
+        super().__init__(
+            f"circuit breaker open; refusing request for key {key!r} "
+            f"until t={retry_at:.3f}"
+        )
+        self.key = key
+        self.retry_at = retry_at

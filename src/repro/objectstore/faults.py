@@ -1,0 +1,266 @@
+"""Deterministic fault-schedule injection for the simulated object store.
+
+The base simulator models failures with a single uniform
+``transient_failure_probability``; real object stores fail in *shapes*:
+multi-second regional outages, 503 storms while a partition heals, latency
+spikes during reshards, and throttling clamp-downs on hot prefixes.  A
+:class:`FaultSchedule` scripts those shapes as timed events on the virtual
+clock:
+
+- :class:`OutageWindow` — every matching request in ``[start, end)`` fails;
+- :class:`ErrorStorm` — matching requests fail with a fixed probability
+  (drawn from a dedicated :class:`~repro.sim.rng.DeterministicRng`
+  substream, so runs replay bit-identically);
+- :class:`LatencySpike` — matching requests take ``multiplier``× the
+  profile latency;
+- :class:`ThrottleStorm` — per-prefix token rates are cut to
+  ``rate_factor`` of nominal (each request consumes ``1/rate_factor``
+  tokens).
+
+Events scope *globally* by default, or narrow to an operation subset
+(``put``/``get``/``delete``/``head``), a key prefix, or a node id (the
+:class:`~repro.objectstore.client.RetryingObjectClient` of each multiplex
+node tags its requests) — so "the secondary lost the bucket while the
+coordinator kept it" is one event.
+
+Overlapping events compose: any active outage wins, error-storm
+probabilities combine to the maximum, latency multipliers multiply, and
+throttle factors take the minimum (harshest clamp).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+OPS = ("put", "get", "delete", "head")
+
+
+def _normalize_ops(ops) -> "Optional[Tuple[str, ...]]":
+    """Accept None (all ops), one op name, or an iterable of op names."""
+    if ops is None:
+        return None
+    if isinstance(ops, str):
+        ops = (ops,)
+    normalized = tuple(sorted(set(ops)))
+    for op in normalized:
+        if op not in OPS:
+            raise ValueError(f"unknown object-store op {op!r} (expected one of {OPS})")
+    return normalized
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """A timed fault scoped by operation set, key prefix and/or node."""
+
+    start: float
+    end: float
+    ops: "Optional[Tuple[str, ...]]" = None  # None = every operation
+    prefix: "Optional[str]" = None           # None = every key
+    node: "Optional[str]" = None             # None = every node
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise ValueError(
+                f"fault window must be non-empty, got [{self.start}, {self.end})"
+            )
+        object.__setattr__(self, "ops", _normalize_ops(self.ops))
+
+    def matches(self, op: str, key: "Optional[str]", node: "Optional[str]",
+                now: float) -> bool:
+        if not self.start <= now < self.end:
+            return False
+        if self.ops is not None and op not in self.ops:
+            return False
+        if self.prefix is not None and (key is None or not key.startswith(self.prefix)):
+            return False
+        if self.node is not None and node != self.node:
+            return False
+        return True
+
+
+@dataclass(frozen=True)
+class OutageWindow(FaultEvent):
+    """A hard outage: every matching request fails while active."""
+
+
+@dataclass(frozen=True)
+class ErrorStorm(FaultEvent):
+    """Matching requests fail with probability ``probability`` while active."""
+
+    probability: float = 0.5
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError(
+                f"storm probability must be in [0, 1], got {self.probability!r}"
+            )
+
+
+@dataclass(frozen=True)
+class LatencySpike(FaultEvent):
+    """Matching requests take ``multiplier``× the profile latency."""
+
+    multiplier: float = 10.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.multiplier <= 0:
+            raise ValueError(
+                f"latency multiplier must be positive, got {self.multiplier!r}"
+            )
+
+
+@dataclass(frozen=True)
+class ThrottleStorm(FaultEvent):
+    """Per-prefix request rates drop to ``rate_factor`` of nominal."""
+
+    rate_factor: float = 0.1
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not 0.0 < self.rate_factor <= 1.0:
+            raise ValueError(
+                f"throttle rate factor must be in (0, 1], got {self.rate_factor!r}"
+            )
+
+
+@dataclass(frozen=True)
+class FaultDecision:
+    """What the schedule prescribes for one request at one virtual time."""
+
+    outage: bool = False
+    error_probability: float = 0.0
+    latency_multiplier: float = 1.0
+    throttle_factor: float = 1.0
+
+    @property
+    def faulty(self) -> bool:
+        return (
+            self.outage
+            or self.error_probability > 0.0
+            or self.latency_multiplier != 1.0
+            or self.throttle_factor != 1.0
+        )
+
+
+NO_FAULT = FaultDecision()
+
+
+class FaultSchedule:
+    """An ordered collection of fault events consulted per request.
+
+    The schedule itself is pure bookkeeping — it never draws randomness.
+    The store draws any error-storm coin flips from its own dedicated
+    substream, and only while a storm is active, so attaching a schedule
+    never perturbs the RNG streams of an existing run outside the storm.
+    """
+
+    def __init__(self, events: "Iterable[FaultEvent]" = (),
+                 name: str = "") -> None:
+        self.name = name
+        self._events: "List[FaultEvent]" = []
+        for event in events:
+            self.add(event)
+
+    def add(self, event: FaultEvent) -> "FaultSchedule":
+        if not isinstance(event, FaultEvent):
+            raise TypeError(f"expected a FaultEvent, got {type(event)!r}")
+        self._events.append(event)
+        return self
+
+    @property
+    def events(self) -> "List[FaultEvent]":
+        return list(self._events)
+
+    def active_events(self, now: float) -> "List[FaultEvent]":
+        return [e for e in self._events if e.start <= now < e.end]
+
+    @property
+    def horizon(self) -> float:
+        """Virtual time after which the schedule is permanently quiet."""
+        return max((e.end for e in self._events), default=0.0)
+
+    def decide(self, op: str, key: "Optional[str]", node: "Optional[str]",
+               now: float) -> FaultDecision:
+        """Combine every matching event into one prescription."""
+        outage = False
+        probability = 0.0
+        multiplier = 1.0
+        throttle = 1.0
+        for event in self._events:
+            if not event.matches(op, key, node, now):
+                continue
+            if isinstance(event, OutageWindow):
+                outage = True
+            elif isinstance(event, ErrorStorm):
+                probability = max(probability, event.probability)
+            elif isinstance(event, LatencySpike):
+                multiplier *= event.multiplier
+            elif isinstance(event, ThrottleStorm):
+                throttle = min(throttle, event.rate_factor)
+        if not outage and probability == 0.0 and multiplier == 1.0 and throttle == 1.0:
+            return NO_FAULT
+        return FaultDecision(outage, probability, multiplier, throttle)
+
+    def __repr__(self) -> str:
+        return f"FaultSchedule({self.name!r}, events={len(self._events)})"
+
+
+# --------------------------------------------------------------------- #
+# canonical named schedules (CLI `chaos` command, chaos benchmarks)
+# --------------------------------------------------------------------- #
+
+def canonical_storm(start: float = 5.0) -> FaultSchedule:
+    """The acceptance storm: 10 s blackout, then a 30 s degraded period
+    with 20% errors, quarter-rate throttling and 4× latency."""
+    return FaultSchedule(
+        [
+            OutageWindow(start, start + 10.0),
+            ErrorStorm(start + 10.0, start + 40.0, probability=0.2),
+            ThrottleStorm(start + 10.0, start + 40.0, rate_factor=0.25),
+            LatencySpike(start + 10.0, start + 40.0, multiplier=4.0),
+        ],
+        name="storm",
+    )
+
+
+def outage_only(start: float = 5.0, duration: float = 10.0) -> FaultSchedule:
+    return FaultSchedule([OutageWindow(start, start + duration)], name="outage")
+
+
+def latency_spike(start: float = 5.0, duration: float = 30.0,
+                  multiplier: float = 8.0) -> FaultSchedule:
+    return FaultSchedule(
+        [LatencySpike(start, start + duration, multiplier=multiplier)],
+        name="latency",
+    )
+
+
+def throttle_storm(start: float = 5.0, duration: float = 30.0,
+                   rate_factor: float = 0.1) -> FaultSchedule:
+    return FaultSchedule(
+        [ThrottleStorm(start, start + duration, rate_factor=rate_factor)],
+        name="throttle",
+    )
+
+
+NAMED_SCHEDULES: "Dict[str, object]" = {
+    "storm": canonical_storm,
+    "outage": outage_only,
+    "latency": latency_spike,
+    "throttle": throttle_storm,
+}
+
+
+def named_schedule(name: str, start: float = 5.0) -> FaultSchedule:
+    """Instantiate one of the canonical schedules by name."""
+    try:
+        factory = NAMED_SCHEDULES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown fault schedule {name!r} "
+            f"(available: {', '.join(sorted(NAMED_SCHEDULES))})"
+        ) from None
+    return factory(start=start)  # type: ignore[operator]

@@ -35,6 +35,7 @@ from repro.objectstore.consistency import (
     VersionedObject,
 )
 from repro.objectstore.errors import NoSuchKeyError
+from repro.objectstore.faults import FaultDecision, FaultSchedule, NO_FAULT
 from repro.sim.clock import VirtualClock
 from repro.sim.metrics import MetricsRegistry
 from repro.sim.pipes import Pipe, TokenBucket
@@ -75,11 +76,17 @@ AZURE_BLOB_PROFILE = ObjectStoreProfile(
 
 
 class TransientRequestError(Exception):
-    """A retryable request failure (HTTP 500/503-style)."""
+    """A retryable request failure (HTTP 500/503-style).
 
-    def __init__(self, key: str) -> None:
-        super().__init__(f"transient failure on key {key!r}")
+    ``kind`` distinguishes the failure source: ``"transient"`` for the
+    profile's uniform background rate, ``"outage"``/``"storm"`` for
+    scheduled fault events.
+    """
+
+    def __init__(self, key: str, kind: str = "transient") -> None:
+        super().__init__(f"{kind} failure on key {key!r}")
         self.key = key
+        self.kind = kind
 
 
 class SimulatedObjectStore(ObjectStore):
@@ -92,13 +99,20 @@ class SimulatedObjectStore(ObjectStore):
         rng: Optional[DeterministicRng] = None,
         bandwidth: Optional[Pipe] = None,
         meter: Optional[CostMeter] = None,
+        fault_schedule: "Optional[FaultSchedule]" = None,
     ) -> None:
         self.profile = profile
         self.clock = clock or VirtualClock()
+        self.fault_schedule = fault_schedule
         self._rng = rng or DeterministicRng(0, f"objectstore/{profile.name}")
         self._lag_rng = self._rng.substream("visibility")
         self._jitter_rng = self._rng.substream("jitter")
         self._failure_rng = self._rng.substream("failures")
+        # Separate streams for scheduled storms and for delete/HEAD
+        # failures: attaching a schedule (or the delete/HEAD failure paths)
+        # must not perturb the put/get draws of an existing run.
+        self._storm_rng = self._rng.substream("fault-storms")
+        self._aux_failure_rng = self._rng.substream("aux-failures")
         self._bandwidth = bandwidth or Pipe(
             profile.default_bandwidth, name=f"{profile.name}/bw"
         )
@@ -141,6 +155,35 @@ class SimulatedObjectStore(ObjectStore):
         p = self.profile.transient_failure_probability
         return p > 0 and self._failure_rng.random() < p
 
+    def _aux_transient_failure(self) -> bool:
+        """Background failure draw for delete/HEAD (own substream)."""
+        p = self.profile.transient_failure_probability
+        return p > 0 and self._aux_failure_rng.random() < p
+
+    def _consult_schedule(self, op: str, key: str, now: float,
+                          node: "Optional[str]") -> FaultDecision:
+        if self.fault_schedule is None:
+            return NO_FAULT
+        decision = self.fault_schedule.decide(op, key, node, now)
+        if decision.throttle_factor != 1.0:
+            self.metrics.counter("fault_throttled_requests").increment()
+        if decision.latency_multiplier != 1.0:
+            self.metrics.counter("fault_latency_spikes").increment()
+        return decision
+
+    def _scheduled_failure(self, decision: FaultDecision) -> "Optional[str]":
+        """Whether the schedule fails this request; returns the fault kind."""
+        if decision.outage:
+            self.metrics.counter("fault_outage_failures").increment()
+            return "outage"
+        if (
+            decision.error_probability > 0
+            and self._storm_rng.random() < decision.error_probability
+        ):
+            self.metrics.counter("fault_storm_failures").increment()
+            return "storm"
+        return None
+
     def _record_requests(self, puts: int = 0, gets: int = 0, deletes: int = 0) -> None:
         if self.meter is not None:
             self.meter.record_requests(
@@ -152,29 +195,39 @@ class SimulatedObjectStore(ObjectStore):
     # ------------------------------------------------------------------ #
 
     def put_at(self, key: str, data: bytes, now: float,
-               bandwidth: "Optional[Pipe]" = None) -> float:
+               bandwidth: "Optional[Pipe]" = None,
+               node: "Optional[str]" = None) -> float:
         """Upload ``data``; return virtual completion time.
 
         ``bandwidth`` lets a caller route the transfer through its own NIC
         pipe (multiplex nodes each have one); the store's default pipe is
-        used otherwise.  Raises :class:`TransientRequestError` on a
-        (simulated) retryable failure; the failed attempt is still billed
-        and still takes time — the error carries the completion time in its
+        used otherwise.  ``node`` tags the request for node-scoped fault
+        events.  Raises :class:`TransientRequestError` on a (simulated)
+        retryable failure; the failed attempt is still billed and still
+        takes time — the error carries the completion time in its
         ``failed_at`` attribute.
         """
         if not isinstance(data, (bytes, bytearray)):
             raise TypeError(f"object data must be bytes, got {type(data)!r}")
-        start = self._put_bucket(self._prefix(key)).request(now)
+        fault = self._consult_schedule("put", key, now, node)
+        start = self._put_bucket(self._prefix(key)).request(
+            now, 1.0 / fault.throttle_factor
+        )
         __, uploaded = (bandwidth or self._bandwidth).request(start, float(len(data)))
-        completion = uploaded + self._jittered(self.profile.put_latency)
+        completion = uploaded + (
+            self._jittered(self.profile.put_latency) * fault.latency_multiplier
+        )
         self.metrics.counter("put_requests").increment()
         self.metrics.counter("put_bytes").increment(len(data))
         # Recorded at transfer completion: the bandwidth curve then shows
         # what the pipe actually sustained (Figure 8).
         self.metrics.series("net_bytes").record(uploaded, len(data))
         self._record_requests(puts=1)
-        if self._transient_failure():
-            error = TransientRequestError(key)
+        kind = self._scheduled_failure(fault)
+        if kind is None and self._transient_failure():
+            kind = "transient"
+        if kind is not None:
+            error = TransientRequestError(key, kind=kind)
             error.failed_at = completion  # type: ignore[attr-defined]
             raise error
         lag = self.profile.consistency.sample_lag(self._lag_rng)
@@ -188,19 +241,28 @@ class SimulatedObjectStore(ObjectStore):
         return completion
 
     def try_get_at(self, key: str, now: float,
-                   bandwidth: "Optional[Pipe]" = None) -> "Tuple[Optional[bytes], float]":
+                   bandwidth: "Optional[Pipe]" = None,
+                   node: "Optional[str]" = None) -> "Tuple[Optional[bytes], float]":
         """Attempt a read; return ``(data_or_None, completion_time)``.
 
         ``None`` data means the object is not visible at service time — the
         eventually-consistent "no such key" case.  Stale reads (possible only
         for overwritten keys) return the stale bytes and bump a counter.
         """
-        start = self._get_bucket(self._prefix(key)).request(now)
-        served_at = start + self._jittered(self.profile.get_latency)
+        fault = self._consult_schedule("get", key, now, node)
+        start = self._get_bucket(self._prefix(key)).request(
+            now, 1.0 / fault.throttle_factor
+        )
+        served_at = start + (
+            self._jittered(self.profile.get_latency) * fault.latency_multiplier
+        )
         self.metrics.counter("get_requests").increment()
         self._record_requests(gets=1)
-        if self._transient_failure():
-            error = TransientRequestError(key)
+        kind = self._scheduled_failure(fault)
+        if kind is None and self._transient_failure():
+            kind = "transient"
+        if kind is not None:
+            error = TransientRequestError(key, kind=kind)
             error.failed_at = served_at  # type: ignore[attr-defined]
             raise error
         versioned = self._objects.get(key)
@@ -217,12 +279,29 @@ class SimulatedObjectStore(ObjectStore):
         self.metrics.series("net_bytes").record(downloaded, len(data))
         return data, downloaded
 
-    def delete_at(self, key: str, now: float) -> float:
-        """Delete (tombstone) the object; return completion time."""
-        start = self._put_bucket(self._prefix(key)).request(now)
-        completion = start + self._jittered(self.profile.delete_latency)
+    def delete_at(self, key: str, now: float,
+                  node: "Optional[str]" = None) -> float:
+        """Delete (tombstone) the object; return completion time.
+
+        Like writes, deletes can fail transiently (background rate or a
+        scheduled fault); the error carries ``failed_at``.
+        """
+        fault = self._consult_schedule("delete", key, now, node)
+        start = self._put_bucket(self._prefix(key)).request(
+            now, 1.0 / fault.throttle_factor
+        )
+        completion = start + (
+            self._jittered(self.profile.delete_latency) * fault.latency_multiplier
+        )
         self.metrics.counter("delete_requests").increment()
         self._record_requests(deletes=1)
+        kind = self._scheduled_failure(fault)
+        if kind is None and self._aux_transient_failure():
+            kind = "transient"
+        if kind is not None:
+            error = TransientRequestError(key, kind=kind)
+            error.failed_at = completion  # type: ignore[attr-defined]
+            raise error
         lag = self.profile.consistency.sample_lag(self._lag_rng)
         versioned = self._objects.get(key)
         if versioned is not None and versioned.latest_data() is not None:
@@ -230,12 +309,25 @@ class SimulatedObjectStore(ObjectStore):
                                   op_time=completion)
         return completion
 
-    def exists_at(self, key: str, now: float) -> "Tuple[bool, float]":
+    def exists_at(self, key: str, now: float,
+                  node: "Optional[str]" = None) -> "Tuple[bool, float]":
         """HEAD-style visibility probe; billed as a GET."""
-        start = self._get_bucket(self._prefix(key)).request(now)
-        served_at = start + self._jittered(self.profile.get_latency)
+        fault = self._consult_schedule("head", key, now, node)
+        start = self._get_bucket(self._prefix(key)).request(
+            now, 1.0 / fault.throttle_factor
+        )
+        served_at = start + (
+            self._jittered(self.profile.get_latency) * fault.latency_multiplier
+        )
         self.metrics.counter("head_requests").increment()
         self._record_requests(gets=1)
+        kind = self._scheduled_failure(fault)
+        if kind is None and self._aux_transient_failure():
+            kind = "transient"
+        if kind is not None:
+            error = TransientRequestError(key, kind=kind)
+            error.failed_at = served_at  # type: ignore[attr-defined]
+            raise error
         versioned = self._objects.get(key)
         visible = versioned is not None and versioned.visible_data(served_at) is not None
         return visible, served_at
@@ -264,10 +356,19 @@ class SimulatedObjectStore(ObjectStore):
         return data
 
     def delete(self, key: str) -> None:
-        self.clock.advance_to(self.delete_at(key, self.clock.now()))
+        try:
+            done = self.delete_at(key, self.clock.now())
+        except TransientRequestError as error:
+            self.clock.advance_to(error.failed_at)  # type: ignore[attr-defined]
+            raise
+        self.clock.advance_to(done)
 
     def exists(self, key: str) -> bool:
-        visible, done = self.exists_at(key, self.clock.now())
+        try:
+            visible, done = self.exists_at(key, self.clock.now())
+        except TransientRequestError as error:
+            self.clock.advance_to(error.failed_at)  # type: ignore[attr-defined]
+            raise
         self.clock.advance_to(done)
         return visible
 

@@ -30,6 +30,30 @@ class Counter:
         return f"Counter({self.name!r}, value={self._value:g})"
 
 
+class Gauge:
+    """A point-in-time value that can move both ways (queue depths, states)."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        self._value = float(value)
+
+    def increment(self, amount: float = 1.0) -> None:
+        self._value += amount
+
+    def decrement(self, amount: float = 1.0) -> None:
+        self._value -= amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name!r}, value={self._value:g})"
+
+
 class Histogram:
     """Stores observations; offers mean/percentile/geomean summaries."""
 
@@ -128,6 +152,7 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
         self._histograms: Dict[str, Histogram] = {}
         self._series: Dict[str, TimeSeries] = {}
 
@@ -135,6 +160,11 @@ class MetricsRegistry:
         if name not in self._counters:
             self._counters[name] = Counter(name)
         return self._counters[name]
+
+    def gauge(self, name: str) -> Gauge:
+        if name not in self._gauges:
+            self._gauges[name] = Gauge(name)
+        return self._gauges[name]
 
     def histogram(self, name: str) -> Histogram:
         if name not in self._histograms:
@@ -150,5 +180,7 @@ class MetricsRegistry:
         return self._counters.values()
 
     def snapshot(self) -> "Dict[str, float]":
-        """Flat view of all counter values (for reports and tests)."""
-        return {name: c.value for name, c in self._counters.items()}
+        """Flat view of all counter and gauge values (reports and tests)."""
+        out = {name: c.value for name, c in self._counters.items()}
+        out.update({name: g.value for name, g in self._gauges.items()})
+        return out

@@ -1,0 +1,147 @@
+"""Degraded-mode OCM tests: serving through an object-store outage.
+
+While the client's circuit breaker is open the OCM serves reads from the
+SSD cache, keeps queuing write-backs locally, and drains the backlog when
+the breaker closes — but write-through-at-commit stays enforced: commit
+uploads bypass the breaker's fail-fast and ride the retry policy.
+"""
+
+import pytest
+
+from repro.blockstore.profiles import nvme_ssd
+from repro.core.ocm import ObjectCacheManager, OcmConfig
+from repro.objectstore import (
+    CircuitBreakerConfig,
+    CircuitOpenError,
+    FaultSchedule,
+    OutageWindow,
+    RetriesExhaustedError,
+    RetryingObjectClient,
+    RetryPolicy,
+    SimulatedObjectStore,
+    STRONG,
+)
+from repro.objectstore.s3sim import ObjectStoreProfile
+from repro.sim.clock import VirtualClock
+from repro.sim.rng import DeterministicRng
+
+OUTAGE = OutageWindow(10.0, 20.0)
+
+
+def make_ocm(reset_timeout=1.0, **config_overrides):
+    clock = VirtualClock()
+    profile = ObjectStoreProfile(name="s3", consistency=STRONG,
+                                 transient_failure_probability=0.0,
+                                 latency_jitter=0.0)
+    store = SimulatedObjectStore(
+        profile, clock=clock, rng=DeterministicRng(5),
+        fault_schedule=FaultSchedule([OUTAGE]),
+    )
+    client = RetryingObjectClient(
+        store,
+        policy=RetryPolicy(max_attempts=3, initial_backoff=0.01,
+                           max_backoff=0.02),
+        breaker=CircuitBreakerConfig(failure_threshold=2,
+                                     reset_timeout=reset_timeout),
+    )
+    ocm = ObjectCacheManager(
+        client, nvme_ssd(),
+        OcmConfig(capacity_bytes=1 << 20, **config_overrides),
+    )
+    return ocm, client, store, clock
+
+
+def trip_breaker(client):
+    """A non-bypassing probe during the outage opens the circuit."""
+    with pytest.raises((RetriesExhaustedError, CircuitOpenError)):
+        client.exists("probe/health")
+    assert client.breaker_state() == "open"
+
+
+def test_degraded_reads_served_from_ssd_cache():
+    ocm, client, store, clock = make_ocm()
+    ocm.put("p/1", b"page-one", commit_mode=True)
+    clock.advance_to(10.5)
+    trip_breaker(client)
+    assert ocm.degraded()
+
+    gets_before = store.metrics.snapshot().get("get_requests", 0)
+    assert ocm.get("p/1") == b"page-one"
+    assert ocm.metrics.snapshot()["degraded_reads"] == 1
+    # The hit never touched the fenced-off store.
+    assert store.metrics.snapshot().get("get_requests", 0) == gets_before
+
+    # A cache miss has nowhere to go: it fails fast on the open breaker.
+    with pytest.raises(CircuitOpenError):
+        ocm.get("p/never-cached")
+
+
+def test_degraded_get_many_serves_cached_set():
+    ocm, client, __, clock = make_ocm()
+    items = [(f"p/{i}", bytes([i]) * 10) for i in range(4)]
+    ocm.put_many(items, commit_mode=True)
+    clock.advance_to(10.5)
+    trip_breaker(client)
+
+    results = ocm.get_many([name for name, __ in items])
+    assert results == dict(items)
+    assert ocm.metrics.snapshot()["degraded_reads"] == 4
+
+
+def test_degraded_write_backs_queue_then_drain_on_recovery():
+    ocm, client, store, clock = make_ocm()
+    ocm.put("p/1", b"warm", commit_mode=True)
+    clock.advance_to(10.5)
+    trip_breaker(client)
+
+    ocm.put("w/1", b"queued-locally")  # anonymous write-back
+    snap = ocm.metrics.snapshot()
+    assert snap["degraded_queued_writes"] == 1
+    assert snap["degraded_queue_depth"] == 1
+    assert ocm.pending_upload_count() == 1
+    assert store.latest_data("w/1") is None  # nothing reached the store
+
+    # Outage over and the breaker's cool-down elapsed: the next public
+    # operation notices recovery and drains the backlog in the background.
+    clock.advance_to(21.5)
+    assert not ocm.degraded()
+    assert ocm.get("p/1") == b"warm"
+    assert ocm.pending_upload_count() == 0
+    assert store.latest_data("w/1") == b"queued-locally"
+    snap = ocm.metrics.snapshot()
+    assert snap["degraded_drained_uploads"] == 1
+    assert snap["degraded_recoveries"] == 1
+    assert snap["degraded_queue_depth"] == 0
+    # The drain's bypassing upload succeeded, closing the breaker.
+    assert client.breaker_state() == "closed"
+
+
+def test_commit_write_through_still_enforced_during_outage():
+    ocm, client, store, clock = make_ocm()
+    clock.advance_to(10.5)
+    trip_breaker(client)
+
+    # Commit-mode puts bypass the breaker's fail-fast and genuinely try
+    # the store; during the outage the retry budget decides — the commit
+    # fails loudly instead of silently queuing.
+    puts_before = store.metrics.snapshot().get("put_requests", 0)
+    with pytest.raises(RetriesExhaustedError):
+        ocm.put("c/1", b"commit-data", commit_mode=True)
+    assert store.metrics.snapshot()["put_requests"] > puts_before
+
+
+def test_commit_write_through_punches_through_open_breaker():
+    # Long cool-down: the breaker stays open well past the outage.  A
+    # commit write bypasses it, succeeds against the healed store and —
+    # being proof of health — closes the breaker.
+    ocm, client, store, clock = make_ocm(reset_timeout=100.0)
+    clock.advance_to(10.5)
+    trip_breaker(client)
+    clock.advance_to(25.0)
+    assert client.breaker_state() == "open"
+    assert ocm.degraded()
+
+    ocm.put("c/2", b"commit-data", commit_mode=True)
+    assert store.latest_data("c/2") == b"commit-data"
+    assert client.breaker_state() == "closed"
+    assert not ocm.degraded()
