@@ -100,12 +100,21 @@ def make_engine(
     user_volume: str = "s3",
     scale_factor: float = BENCH_SCALE_FACTOR,
     ocm_enabled: bool = True,
+    tracer: "Optional[object]" = None,
     **overrides: object,
 ) -> Database:
+    """Build an engine; ``tracer`` shares one Tracer across bench engines.
+
+    A driver comparing several configurations passes the same handle to
+    each ``make_engine``/``load_engine`` call so every engine's spans land
+    in one trace (per-engine layers stay distinguishable via span attrs).
+    """
     config = bench_config(instance_type, user_volume, scale_factor,
                           ocm_enabled, **overrides)
     database = Database(config)
     database.cpu.parallel_fraction = CPU_PARALLEL_FRACTION
+    if tracer is not None:
+        database.attach_tracer(tracer)
     return database
 
 
@@ -114,11 +123,12 @@ def load_engine(
     user_volume: str = "s3",
     scale_factor: float = BENCH_SCALE_FACTOR,
     ocm_enabled: bool = True,
+    tracer: "Optional[object]" = None,
     **overrides: object,
 ) -> "Tuple[Database, ColumnStore, float]":
     """Build an engine and load TPC-H into it; returns (db, store, load_s)."""
     database = make_engine(instance_type, user_volume, scale_factor,
-                           ocm_enabled, **overrides)
+                           ocm_enabled, tracer=tracer, **overrides)
     store = ColumnStore(database)
     started = database.clock.now()
     load_tpch(store, scale_factor, partitions=BENCH_PARTITIONS,

@@ -8,7 +8,11 @@ Commands:
 - ``table1`` — print the paper's Table 1 recovery walkthrough,
 - ``chaos`` — run a named fault schedule against a live engine and report
   resilience metrics (breaker transitions, hedges, degraded reads) plus a
-  committed-data durability check.
+  committed-data durability check,
+- ``trace`` — run a workload with end-to-end tracing enabled, export the
+  span tree as Chrome-trace JSON (loadable in ``about://tracing`` /
+  Perfetto) and print a flamegraph-style attribution report,
+- ``report`` — re-aggregate a previously exported trace JSON offline.
 """
 
 from __future__ import annotations
@@ -275,6 +279,89 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_trace_summary(tracer) -> None:
+    print()
+    print("== flamegraph (inclusive virtual time) ==")
+    print(tracer.flame_report())
+    print()
+    print("== latency by layer/op ==")
+    print(format_table(list(tracer.LATENCY_HEADERS), tracer.latency_rows()))
+    costs = tracer.cost_totals()
+    rows = [
+        [layer, round(seconds, 6), round(costs.get(layer, 0.0), 8)]
+        for layer, seconds in sorted(tracer.layer_totals().items())
+    ]
+    print()
+    print("== per-layer totals ==")
+    print(format_table(["layer", "seconds", "request cost (USD)"], rows))
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.sim.tracing import Tracer
+
+    if args.workload == "quickstart":
+        from repro.engine import Database, DatabaseConfig
+
+        db = Database(DatabaseConfig(
+            buffer_capacity_bytes=8 << 20,
+            ocm_capacity_bytes=32 << 20,
+            page_size=16 * 1024,
+            tracing_enabled=True,
+        ))
+        tracer = db.tracer
+        db.create_object("demo")
+        txn = db.begin()
+        for page in range(16):
+            db.write_page(txn, "demo", page, (b"%03d" % page) * 256)
+        db.commit(txn)
+        db.buffer.invalidate_all()
+        reader = db.begin()
+        for page in range(16):
+            db.read_page(reader, "demo", page)
+        db.commit(reader)
+        print(f"traced quickstart: {db.clock.now():.3f} virtual seconds, "
+              f"{tracer.span_count()} spans")
+    else:
+        numbers = (
+            [int(q) for q in args.queries.split(",")] if args.queries
+            else [1, 6]
+        )
+        db, store, load_seconds = load_engine(
+            args.instance, "s3", scale_factor=args.scale_factor
+        )
+        _cold(db)
+        # The tracer is attached after the bulk load so the trace holds
+        # only the queries, not millions of load-time spans.
+        tracer = Tracer(db.clock, meter=db.meter)
+        db.attach_tracer(tracer)
+        times = power_run(db, args.scale_factor, query_numbers=numbers)
+        total = sum(times.values())
+        print(f"traced {len(times)} queries (SF {args.scale_factor}, "
+              f"{args.instance}): {total:.3f} virtual seconds, "
+              f"{tracer.span_count()} spans")
+    tracer.write_chrome_trace(args.output)
+    print(f"chrome trace written to {args.output} "
+          "(load it in about://tracing or https://ui.perfetto.dev)")
+    _print_trace_summary(tracer)
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.sim.tracing import load_chrome_trace
+
+    summary = load_chrome_trace(args.input)
+    print(f"{summary['events']} spans in {args.input}")
+    print(format_table(["layer/op", "count", "total (s)"], summary["rows"]))
+    costs = summary["cost_totals"]
+    rows = [
+        [layer, round(seconds, 6), round(costs.get(layer, 0.0), 8)]
+        for layer, seconds in sorted(summary["layer_totals"].items())
+    ]
+    print()
+    print(format_table(["layer", "seconds", "request cost (USD)"], rows))
+    return 0
+
+
 def cmd_table1(args: argparse.Namespace) -> int:
     import pathlib
     benchmarks = pathlib.Path(__file__).resolve().parents[2] / "benchmarks"
@@ -326,6 +413,25 @@ def build_parser() -> argparse.ArgumentParser:
                        help="virtual time at which the schedule begins")
     chaos.add_argument("--pages", type=int, default=6,
                        help="pages written per committed generation")
+
+    trace = sub.add_parser(
+        "trace",
+        help="run a workload with tracing; export Chrome-trace JSON",
+    )
+    trace.add_argument("workload", choices=("tpch", "quickstart"),
+                       help="workload to trace")
+    trace.add_argument("--scale-factor", type=float, default=0.002)
+    trace.add_argument("--instance", default="m5ad.24xlarge")
+    trace.add_argument("--queries", default="1,6",
+                       help="comma-separated query numbers (tpch workload)")
+    trace.add_argument("--output", default="trace.json",
+                       help="Chrome-trace JSON output path")
+
+    report = sub.add_parser(
+        "report", help="re-aggregate a previously exported trace JSON"
+    )
+    report.add_argument("--input", default="trace.json",
+                        help="trace JSON produced by `repro trace`")
     return parser
 
 
@@ -337,6 +443,8 @@ def main(argv: "Optional[List[str]]" = None) -> int:
         "compare": cmd_compare,
         "table1": cmd_table1,
         "chaos": cmd_chaos,
+        "trace": cmd_trace,
+        "report": cmd_report,
     }
     return handlers[args.command](args)
 

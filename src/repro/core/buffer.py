@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.sim.metrics import MetricsRegistry
+from repro.sim.tracing import NULL_TRACER
 from repro.storage.blockmap import Blockmap
 from repro.storage.compression import PageCodec, codec_by_name
 from repro.storage.dbspace import PageStore
@@ -111,6 +112,7 @@ class BufferManager:
         self.page_config = page_config or PageConfig()
         self.codec = codec or codec_by_name(self.page_config.codec_name)
         self.metrics = MetricsRegistry()
+        self.tracer = NULL_TRACER
         self._frames: "OrderedDict[Tuple[int, int, FrameTag], Frame]" = OrderedDict()
         self._used_bytes = 0
         # txn_id -> ordered set of dirty frame keys (flush order at commit)
@@ -187,17 +189,22 @@ class BufferManager:
                 self.metrics.counter("hits").increment()
                 return frame.data
         self.metrics.counter("misses").increment()
-        locator = handle.blockmap.lookup(page_no)
-        if locator == NULL_LOCATOR:
-            raise BufferError(
-                f"object {handle.name!r} v{handle.version} has no page {page_no}"
-            )
-        payload = handle.dbspace.read_page(locator)
-        data = self.codec.decompress(payload)
-        frame = Frame(data=data, locator=locator, dirty=False, fresh=False,
-                      page_no=page_no)
-        self._insert((handle.object_id, page_no, handle.version), frame)
-        return data
+        # RAM hits take zero virtual time and are not traced; misses do
+        # real I/O and get a span.
+        with self.tracer.span("read_miss", "buffer",
+                              object=handle.name, page_no=page_no):
+            locator = handle.blockmap.lookup(page_no)
+            if locator == NULL_LOCATOR:
+                raise BufferError(
+                    f"object {handle.name!r} v{handle.version} has no page "
+                    f"{page_no}"
+                )
+            payload = handle.dbspace.read_page(locator)
+            data = self.codec.decompress(payload)
+            frame = Frame(data=data, locator=locator, dirty=False, fresh=False,
+                          page_no=page_no)
+            self._insert((handle.object_id, page_no, handle.version), frame)
+            return data
 
     def prefetch(self, handle: ObjectHandle, page_nos: "Iterable[int]",
                  window: int = 32) -> int:
@@ -214,11 +221,13 @@ class BufferManager:
             locators.append(locator)
         if not missing:
             return 0
-        payloads = handle.dbspace.read_pages(locators)
-        for page_no, locator in zip(missing, locators):
-            data = self.codec.decompress(payloads[locator])
-            frame = Frame(data=data, locator=locator, page_no=page_no)
-            self._insert((handle.object_id, page_no, handle.version), frame)
+        with self.tracer.span("prefetch", "buffer",
+                              object=handle.name, pages=len(missing)):
+            payloads = handle.dbspace.read_pages(locators)
+            for page_no, locator in zip(missing, locators):
+                data = self.codec.decompress(payloads[locator])
+                frame = Frame(data=data, locator=locator, page_no=page_no)
+                self._insert((handle.object_id, page_no, handle.version), frame)
         self.metrics.counter("prefetched").increment(len(missing))
         return len(missing)
 
@@ -272,6 +281,18 @@ class BufferManager:
         windowed-parallel write path; each flush feeds the owning
         transaction's GC sink and updates its working blockmap.
         """
+        span = self.tracer.begin("flush", "buffer",
+                                 pages=len(entries), commit=commit_mode)
+        try:
+            self._flush_frames_inner(entries, commit_mode)
+        finally:
+            self.tracer.finish(span)
+
+    def _flush_frames_inner(
+        self,
+        entries: "List[Tuple[Tuple[int, int, FrameTag], Frame]]",
+        commit_mode: bool,
+    ) -> None:
         groups: "Dict[Tuple[int, int], List[Tuple[Tuple[int, int, FrameTag], Frame]]]" = {}
         stores: "Dict[Tuple[int, int], PageStore]" = {}
         for key, frame in entries:

@@ -30,9 +30,11 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.objectstore.client import RetryingObjectClient
+from repro.objectstore.errors import CircuitOpenError, DegradedCacheMissError
 from repro.sim.devices import DeviceProfile, QueueingDevice
 from repro.sim.metrics import MetricsRegistry
 from repro.sim.rng import DeterministicRng
+from repro.sim.tracing import NULL_TRACER
 from repro.storage.dbspace import ObjectIO
 
 
@@ -104,6 +106,7 @@ class ObjectCacheManager(ObjectIO):
             rng or DeterministicRng(0, "ocm-device"),
         )
         self.metrics = MetricsRegistry()
+        self.tracer = NULL_TRACER
         self._entries: "OrderedDict[str, _CacheEntry]" = OrderedDict()
         self._used = 0
         self._pending: "Dict[int, List[_PendingUpload]]" = {}
@@ -260,6 +263,14 @@ class ObjectCacheManager(ObjectIO):
 
     def get(self, name: str) -> bytes:
         self._track_degradation()
+        with self.tracer.span("get", "ocm", key=name) as span:
+            data, outcome = self._get_inner(name)
+            if span is not None:
+                span.attrs["outcome"] = outcome
+                span.attrs["nbytes"] = len(data)
+            return data
+
+    def _get_inner(self, name: str) -> "Tuple[bytes, str]":
         now = self.clock.now()
         degraded = self.degraded()
         entry = self._entries.get(name)
@@ -268,11 +279,13 @@ class ObjectCacheManager(ObjectIO):
                 # Degraded mode: the store is fenced off; serve the hit
                 # from the SSD without considering adaptive rerouting.
                 done = self.device.read(entry.size, now)
+                self.tracer.record("read", "ssd", now, done,
+                                   key=name, nbytes=entry.size)
                 self.clock.advance_to(done)
                 self._touch(name)
                 self.metrics.counter("hits").increment()
                 self.metrics.counter("degraded_reads").increment()
-                return entry.data
+                return entry.data, "degraded_hit"
             if entry.uploaded and self._should_reroute(entry.size, now):
                 # Adaptive routing: the SSD is saturated with asynchronous
                 # fills; serve this hit from the object store instead.
@@ -281,73 +294,110 @@ class ObjectCacheManager(ObjectIO):
                 self._touch(name)
                 self.metrics.counter("hits").increment()
                 self.metrics.counter("rerouted_reads").increment()
-                return data
+                return data, "rerouted_hit"
             # Cache hit: read from the local SSD.  The shared bandwidth
             # pipe means queued asynchronous fills delay this read.
             done = self.device.read(entry.size, now)
+            self.tracer.record("read", "ssd", now, done,
+                               key=name, nbytes=entry.size)
             self.clock.advance_to(done)
             self._touch(name)
             self.metrics.counter("hits").increment()
-            return entry.data
+            return entry.data, "hit"
         self.metrics.counter("misses").increment()
-        data, done = self.client.get_at(name, now)
+        try:
+            data, done = self.client.get_at(name, now)
+        except CircuitOpenError as exc:
+            if degraded:
+                self.metrics.counter("degraded_miss_failures").increment()
+                raise DegradedCacheMissError(name, exc.retry_at) from exc
+            raise
         self.clock.advance_to(done)
         # Read-through: return to the caller and cache asynchronously.
-        self.device.write(len(data), self.clock.now())
+        fill_start = self.clock.now()
+        fill_done = self.device.write(len(data), fill_start)
+        self.tracer.record("fill", "ssd", fill_start, fill_done,
+                           key=name, nbytes=len(data))
         self._insert(name, data, uploaded=True, in_lru=True)
-        return data
+        return data, "miss"
 
     def get_many(self, names: "Sequence[str]") -> "Dict[str, bytes]":
         """Parallel read: SSD hits and object store misses overlap."""
         self._track_degradation()
         t0 = self.clock.now()
         degraded = self.degraded()
+        span = self.tracer.begin("get_many", "ocm", count=len(names))
         results: Dict[str, bytes] = {}
         hit_last = t0
+        hit_count = 0
         misses: List[str] = []
         rerouted: List[str] = []
-        for name in names:
-            entry = self._entries.get(name)
-            if entry is not None:
-                if degraded:
+        try:
+            for name in names:
+                entry = self._entries.get(name)
+                if entry is not None:
+                    if degraded:
+                        done = self.device.read(entry.size, t0)
+                        self.tracer.record("read", "ssd", t0, done,
+                                           key=name, nbytes=entry.size)
+                        hit_last = max(hit_last, done)
+                        self._touch(name)
+                        hit_count += 1
+                        self.metrics.counter("hits").increment()
+                        self.metrics.counter("degraded_reads").increment()
+                        results[name] = entry.data
+                        continue
+                    if entry.uploaded and self._should_reroute(entry.size, t0):
+                        rerouted.append(name)
+                        self._touch(name)
+                        hit_count += 1
+                        self.metrics.counter("hits").increment()
+                        self.metrics.counter("rerouted_reads").increment()
+                        results[name] = entry.data
+                        continue
                     done = self.device.read(entry.size, t0)
+                    self.tracer.record("read", "ssd", t0, done,
+                                       key=name, nbytes=entry.size)
                     hit_last = max(hit_last, done)
                     self._touch(name)
+                    hit_count += 1
                     self.metrics.counter("hits").increment()
-                    self.metrics.counter("degraded_reads").increment()
                     results[name] = entry.data
-                    continue
-                if entry.uploaded and self._should_reroute(entry.size, t0):
-                    rerouted.append(name)
-                    self._touch(name)
-                    self.metrics.counter("hits").increment()
-                    self.metrics.counter("rerouted_reads").increment()
-                    results[name] = entry.data
-                    continue
-                done = self.device.read(entry.size, t0)
-                hit_last = max(hit_last, done)
-                self._touch(name)
-                self.metrics.counter("hits").increment()
-                results[name] = entry.data
-            else:
-                misses.append(name)
-        if rerouted:
-            # Rerouted hits cost object-store reads (timing only; the data
-            # is already in hand from the cache entries).
-            for name in rerouted:
-                __, done = self.client.get_at(name, t0)
-                hit_last = max(hit_last, done)
-        if misses:
-            self.metrics.counter("misses").increment(len(misses))
-            fetched = self.client.get_many(misses, window=self.config.read_window)
-            fill_time = self.clock.now()
-            for name in misses:
-                data = fetched[name]
-                self.device.write(len(data), fill_time)
-                self._insert(name, data, uploaded=True, in_lru=True)
-                results[name] = data
-        self.clock.advance_to(max(self.clock.now(), hit_last))
-        return results
+                else:
+                    misses.append(name)
+            if rerouted:
+                # Rerouted hits cost object-store reads (timing only; the
+                # data is already in hand from the cache entries).
+                for name in rerouted:
+                    __, done = self.client.get_at(name, t0)
+                    hit_last = max(hit_last, done)
+            if misses:
+                self.metrics.counter("misses").increment(len(misses))
+                try:
+                    fetched = self.client.get_many(
+                        misses, window=self.config.read_window
+                    )
+                except CircuitOpenError as exc:
+                    if degraded:
+                        self.metrics.counter(
+                            "degraded_miss_failures"
+                        ).increment(len(misses))
+                        raise DegradedCacheMissError(
+                            misses[0], exc.retry_at
+                        ) from exc
+                    raise
+                fill_time = self.clock.now()
+                for name in misses:
+                    data = fetched[name]
+                    fill_done = self.device.write(len(data), fill_time)
+                    self.tracer.record("fill", "ssd", fill_time, fill_done,
+                                       key=name, nbytes=len(data))
+                    self._insert(name, data, uploaded=True, in_lru=True)
+                    results[name] = data
+            self.clock.advance_to(max(self.clock.now(), hit_last))
+            return results
+        finally:
+            self.tracer.finish(span, hits=hit_count, misses=len(misses))
 
     # ------------------------------------------------------------------ #
     # writes
@@ -356,10 +406,14 @@ class ObjectCacheManager(ObjectIO):
     def put(self, name: str, data: bytes, txn_id: "Optional[int]" = None,
             commit_mode: bool = False) -> None:
         self._track_degradation()
-        if commit_mode:
-            self._put_write_through(name, data)
-        else:
-            self._put_write_back(name, data, txn_id)
+        with self.tracer.span(
+            "put", "ocm", key=name, nbytes=len(data),
+            mode="write_through" if commit_mode else "write_back",
+        ):
+            if commit_mode:
+                self._put_write_through(name, data)
+            else:
+                self._put_write_back(name, data, txn_id)
 
     def _put_write_through(self, name: str, data: bytes) -> None:
         """Synchronous upload, asynchronous local caching.
@@ -371,14 +425,20 @@ class ObjectCacheManager(ObjectIO):
         done = self.client.put_at(name, data, self.clock.now(),
                                   bypass_breaker=True)
         self.clock.advance_to(done)
-        self.device.write(len(data), self.clock.now())
+        fill_start = self.clock.now()
+        fill_done = self.device.write(len(data), fill_start)
+        self.tracer.record("fill", "ssd", fill_start, fill_done,
+                           key=name, nbytes=len(data))
         self._insert(name, data, uploaded=True, in_lru=True)
         self.metrics.counter("write_through").increment()
 
     def _put_write_back(self, name: str, data: bytes,
                         txn_id: "Optional[int]") -> None:
         """Synchronous local write, upload queued in the background."""
-        done = self.device.write(len(data), self.clock.now())
+        start = self.clock.now()
+        done = self.device.write(len(data), start)
+        self.tracer.record("write", "ssd", start, done,
+                           key=name, nbytes=len(data))
         self.clock.advance_to(done)
         in_lru = self.config.lru_insert_before_upload
         self._insert(name, data, uploaded=False, in_lru=in_lru)
@@ -398,18 +458,24 @@ class ObjectCacheManager(ObjectIO):
                  txn_id: "Optional[int]" = None,
                  commit_mode: bool = False) -> None:
         self._track_degradation()
-        if commit_mode:
-            # Parallel synchronous uploads, asynchronous cache fills.
-            self.client.put_many(items, window=self.config.upload_window,
-                                 bypass_breaker=True)
-            fill_time = self.clock.now()
+        with self.tracer.span(
+            "put_many", "ocm", count=len(items),
+            mode="write_through" if commit_mode else "write_back",
+        ):
+            if commit_mode:
+                # Parallel synchronous uploads, asynchronous cache fills.
+                self.client.put_many(items, window=self.config.upload_window,
+                                     bypass_breaker=True)
+                fill_time = self.clock.now()
+                for name, data in items:
+                    fill_done = self.device.write(len(data), fill_time)
+                    self.tracer.record("fill", "ssd", fill_time, fill_done,
+                                       key=name, nbytes=len(data))
+                    self._insert(name, data, uploaded=True, in_lru=True)
+                    self.metrics.counter("write_through").increment()
+                return
             for name, data in items:
-                self.device.write(len(data), fill_time)
-                self._insert(name, data, uploaded=True, in_lru=True)
-                self.metrics.counter("write_through").increment()
-            return
-        for name, data in items:
-            self._put_write_back(name, data, txn_id)
+                self._put_write_back(name, data, txn_id)
 
     # ------------------------------------------------------------------ #
     # FlushForCommit and rollback
@@ -434,18 +500,22 @@ class ObjectCacheManager(ObjectIO):
         """
         self._track_degradation()
         jobs = self._pending.pop(txn_id, [])
-        last = self.clock.now()
-        for job in jobs:
-            done = self._schedule_upload(job)
-            last = max(last, done)
-            entry = self._entries.get(job.name)
-            if entry is not None:
-                entry.uploaded = True
-                entry.in_lru = True
-        self.clock.advance_to(last)
-        if jobs:
-            self.metrics.counter("flush_for_commit_jobs").increment(len(jobs))
-        self._evict_if_needed()
+        with self.tracer.span("flush_for_commit", "ocm",
+                              txn_id=txn_id, jobs=len(jobs)):
+            last = self.clock.now()
+            for job in jobs:
+                done = self._schedule_upload(job)
+                last = max(last, done)
+                entry = self._entries.get(job.name)
+                if entry is not None:
+                    entry.uploaded = True
+                    entry.in_lru = True
+            self.clock.advance_to(last)
+            if jobs:
+                self.metrics.counter("flush_for_commit_jobs").increment(
+                    len(jobs)
+                )
+            self._evict_if_needed()
 
     def discard_txn(self, txn_id: int) -> int:
         """Drop a rolled-back transaction's pending uploads and entries."""
@@ -459,30 +529,60 @@ class ObjectCacheManager(ObjectIO):
 
     def drain_all(self) -> None:
         """Flush every pending upload (shutdown path, tests)."""
-        for txn_id in list(self._pending):
-            self.flush_for_commit(txn_id)
-        jobs, self._anonymous_pending = self._anonymous_pending, []
-        last = self.clock.now()
-        for job in jobs:
-            done = self._schedule_upload(job)
-            last = max(last, done)
-            entry = self._entries.get(job.name)
-            if entry is not None:
-                entry.uploaded = True
-                entry.in_lru = True
-        self.clock.advance_to(last)
+        with self.tracer.span("drain_all", "ocm"):
+            for txn_id in list(self._pending):
+                self.flush_for_commit(txn_id)
+            jobs, self._anonymous_pending = self._anonymous_pending, []
+            last = self.clock.now()
+            for job in jobs:
+                done = self._schedule_upload(job)
+                last = max(last, done)
+                entry = self._entries.get(job.name)
+                if entry is not None:
+                    entry.uploaded = True
+                    entry.in_lru = True
+            self.clock.advance_to(last)
 
     # ------------------------------------------------------------------ #
     # deletes / probes / billing
     # ------------------------------------------------------------------ #
 
+    def _cancel_pending(self, names: "Sequence[str]") -> int:
+        """Drop queued uploads for deleted objects.
+
+        Without this, a delete leaves the object's ``_PendingUpload`` in
+        the queues and the next ``flush_for_commit``/``drain_all``/
+        degraded-recovery drain re-uploads it — resurrecting a deleted
+        object on the store.
+        """
+        doomed = set(names)
+        cancelled = 0
+        for txn_id in list(self._pending):
+            jobs = self._pending[txn_id]
+            kept = [job for job in jobs if job.name not in doomed]
+            cancelled += len(jobs) - len(kept)
+            if kept:
+                self._pending[txn_id] = kept
+            else:
+                del self._pending[txn_id]
+        kept = [
+            job for job in self._anonymous_pending if job.name not in doomed
+        ]
+        cancelled += len(self._anonymous_pending) - len(kept)
+        self._anonymous_pending = kept
+        if cancelled:
+            self.metrics.counter("cancelled_uploads").increment(cancelled)
+        return cancelled
+
     def delete(self, name: str) -> None:
         self._remove(name)
+        self._cancel_pending([name])
         self.client.delete(name)
 
     def delete_many(self, names: "Sequence[str]") -> None:
         for name in names:
             self._remove(name)
+        self._cancel_pending(names)
         self.client.delete_many(names)
 
     def exists(self, name: str) -> bool:
@@ -493,12 +593,20 @@ class ObjectCacheManager(ObjectIO):
         return self.client.store.stored_bytes()
 
     def invalidate_all(self) -> None:
-        """Drop the whole cache (node crash: instance storage is ephemeral)."""
+        """Drop the whole cache (node crash: instance storage is ephemeral).
+
+        The upload-window heap goes too: its entries are completion times
+        of uploads from before the crash, and keeping them would throttle
+        the restarted node's first ``upload_window`` uploads against work
+        that no longer exists.
+        """
         self._entries.clear()
         self._pending.clear()
         self._anonymous_pending.clear()
+        self._upload_inflight.clear()
         self._used = 0
         self._was_degraded = False
+        self.metrics.gauge("degraded_queue_depth").set(0.0)
 
     def stats(self) -> "Dict[str, float]":
         """Hit/miss/eviction counters (Table 5)."""

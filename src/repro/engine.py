@@ -44,6 +44,7 @@ from repro.sim.cpu import CpuModel
 from repro.sim.devices import raid0, scaled_profile
 from repro.sim.pipes import Pipe
 from repro.sim.rng import DeterministicRng
+from repro.sim.tracing import NULL_TRACER, Tracer
 from repro.storage.blockmap import Blockmap
 from repro.storage.dbspace import (
     BlockDbspace,
@@ -107,6 +108,11 @@ class DatabaseConfig:
     ocm_adaptive_routing: bool = False
     # snapshots: retention 0 disables the snapshot manager entirely
     retention_seconds: float = 0.0
+    # End-to-end request tracing: build a Tracer on the engine clock and
+    # propagate it through buffer -> OCM -> client -> store so queries and
+    # commits yield span trees (DESIGN.md §8).  Off by default: tracing
+    # retains every span in memory.
+    tracing_enabled: bool = False
     # Effective per-node S3 throughput ceiling in Gbit/s.  The paper
     # observes saturation slightly above 9 Gbit/s even on a 20 Gbit NIC
     # and attributes it to the engine's 512 KB page size (Figure 8).
@@ -257,6 +263,11 @@ class Database:
         effective_gbits = min(cfg.nic_gbits, cfg.s3_effective_gbits)
         self.nic = Pipe(effective_gbits * GBIT * cfg.rate_scale, name="nic")
         self.crashed = False
+        self.tracer = (
+            Tracer(self.clock, meter=self.meter)
+            if cfg.tracing_enabled
+            else NULL_TRACER
+        )
 
         # --- system dbspace (strong consistency, holds log/catalog) ---- #
         # The system dbspace carries only metadata (log, catalog,
@@ -316,6 +327,24 @@ class Database:
         )
         # An initial checkpoint anchors recovery for logs with no history.
         self.checkpoint()
+        self.attach_tracer(self.tracer)
+
+    def attach_tracer(self, tracer) -> None:
+        """Share one tracer across every instrumented layer.
+
+        Benchmark drivers call this with their own :class:`Tracer` to
+        collect spans from several engines into one trace; passing
+        :data:`NULL_TRACER` detaches tracing again.
+        """
+        self.tracer = tracer
+        self.buffer.tracer = tracer
+        for dbspace in self.cloud_dbspaces().values():
+            io = dbspace.io
+            io.tracer = tracer
+            client = getattr(io, "client", None)
+            if client is not None:
+                client.tracer = tracer
+                client.store.tracer = tracer
 
     # ------------------------------------------------------------------ #
     # construction helpers
@@ -453,6 +482,8 @@ class Database:
             if cfg.encryption_key is not None
             else None
         )
+        client.tracer = self.tracer
+        store.tracer = self.tracer
         dbspace = CloudDbspace(
             name,
             DirectObjectIO(client),
@@ -502,7 +533,8 @@ class Database:
 
     def commit(self, txn: Transaction) -> None:
         self._check_usable()
-        self.txn_manager.commit(txn)
+        with self.tracer.span("commit", "engine", txn_id=txn.txn_id):
+            self.txn_manager.commit(txn)
 
     def rollback(self, txn: Transaction) -> None:
         self._check_usable()
@@ -520,18 +552,24 @@ class Database:
 
     def write_page(self, txn: Transaction, name: str, page_no: int,
                    data: bytes) -> None:
-        handle = self.open_for_write(txn, name)
-        self.buffer.write_page(handle, page_no, data)
+        with self.tracer.span("write_page", "engine",
+                              object=name, page_no=page_no):
+            handle = self.open_for_write(txn, name)
+            self.buffer.write_page(handle, page_no, data)
 
     def read_page(self, txn: Transaction, name: str, page_no: int) -> bytes:
-        handle = self.open_for_read(txn, name)
-        return self.buffer.get_page(handle, page_no)
+        with self.tracer.span("read_page", "engine",
+                              object=name, page_no=page_no):
+            handle = self.open_for_read(txn, name)
+            return self.buffer.get_page(handle, page_no)
 
     def prefetch(self, txn: Transaction, name: str,
                  page_nos: "List[int]") -> int:
-        handle = self.open_for_read(txn, name)
-        return self.buffer.prefetch(handle, page_nos,
-                                    window=self.config.parallel_window)
+        with self.tracer.span("prefetch", "engine",
+                              object=name, pages=len(page_nos)):
+            handle = self.open_for_read(txn, name)
+            return self.buffer.prefetch(handle, page_nos,
+                                        window=self.config.parallel_window)
 
     # ------------------------------------------------------------------ #
     # checkpointing, crash, restart

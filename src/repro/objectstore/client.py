@@ -46,6 +46,7 @@ from repro.objectstore.s3sim import SimulatedObjectStore, TransientRequestError
 from repro.sim.metrics import MetricsRegistry
 from repro.sim.pipes import Pipe
 from repro.sim.rng import DeterministicRng
+from repro.sim.tracing import NULL_TRACER
 
 
 @dataclass(frozen=True)
@@ -246,6 +247,7 @@ class RetryingObjectClient:
         self.bandwidth = bandwidth
         self.node_id = node_id
         self.metrics = MetricsRegistry()
+        self.tracer = NULL_TRACER
         self.hedge = hedge
         self.breaker: "Optional[CircuitBreaker]" = (
             CircuitBreaker(breaker, self.metrics) if breaker is not None else None
@@ -308,27 +310,37 @@ class RetryingObjectClient:
         """
         if self.enforce_unique_keys and key in self._written_keys:
             raise OverwriteForbiddenError(key)
+        span = self.tracer.begin("put", "client", start=now,
+                                 key=key, nbytes=len(data))
         when = now
         previous: "Optional[float]" = None
-        for attempt in range(1, self.policy.max_attempts + 1):
-            self._admit(key, when, bypass_breaker)
-            try:
-                done = self.store.put_at(key, data, when,
-                                         bandwidth=self.bandwidth,
-                                         node=self.node_id)
-            except TransientRequestError as error:
-                failed_at = error.failed_at  # type: ignore[attr-defined]
-                self._note_failure(failed_at)
-                self.metrics.counter("put_retries").increment()
-                previous = self._next_backoff(attempt, previous)
-                when = failed_at + previous
-                self._check_deadline(key, now, when, attempt)
-                continue
-            self._note_success(done)
-            if self.enforce_unique_keys:
-                self._written_keys.add(key)
-            return done
-        raise RetriesExhaustedError(key, self.policy.max_attempts)
+        try:
+            for attempt in range(1, self.policy.max_attempts + 1):
+                self._admit(key, when, bypass_breaker)
+                try:
+                    done = self.store.put_at(key, data, when,
+                                             bandwidth=self.bandwidth,
+                                             node=self.node_id)
+                except TransientRequestError as error:
+                    failed_at = error.failed_at  # type: ignore[attr-defined]
+                    self._note_failure(failed_at)
+                    self.metrics.counter("put_retries").increment()
+                    previous = self._next_backoff(attempt, previous)
+                    when = failed_at + previous
+                    self.tracer.record("backoff", "retry", failed_at, when,
+                                       key=key, attempt=attempt)
+                    self._check_deadline(key, now, when, attempt)
+                    continue
+                self._note_success(done)
+                if self.enforce_unique_keys:
+                    self._written_keys.add(key)
+                self.tracer.finish(span, end=done, attempts=attempt)
+                span = None
+                return done
+            raise RetriesExhaustedError(key, self.policy.max_attempts)
+        finally:
+            if span is not None:
+                self.tracer.finish(span, end=when, error="failed")
 
     def _hedge_delay(self) -> float:
         assert self.hedge is not None
@@ -384,69 +396,100 @@ class RetryingObjectClient:
 
     def get_at(self, key: str, now: float) -> "Tuple[bytes, float]":
         """Read with retry on "no such key" and transient failures."""
+        span = self.tracer.begin("get", "client", start=now, key=key)
         when = now
         previous: "Optional[float]" = None
-        for attempt in range(1, self.policy.max_attempts + 1):
-            self._admit(key, when, bypass=False)
-            try:
-                data, done = self._try_get_once(key, when)
-            except TransientRequestError as error:
-                failed_at = error.failed_at  # type: ignore[attr-defined]
-                self._note_failure(failed_at)
-                self.metrics.counter("get_retries").increment()
+        try:
+            for attempt in range(1, self.policy.max_attempts + 1):
+                self._admit(key, when, bypass=False)
+                try:
+                    data, done = self._try_get_once(key, when)
+                except TransientRequestError as error:
+                    failed_at = error.failed_at  # type: ignore[attr-defined]
+                    self._note_failure(failed_at)
+                    self.metrics.counter("get_retries").increment()
+                    previous = self._next_backoff(attempt, previous)
+                    when = failed_at + previous
+                    self.tracer.record("backoff", "retry", failed_at, when,
+                                       key=key, attempt=attempt)
+                    self._check_deadline(key, now, when, attempt)
+                    continue
+                self._note_success(done)
+                if data is not None:
+                    self.tracer.finish(span, end=done, attempts=attempt,
+                                       nbytes=len(data))
+                    span = None
+                    return data, done
+                self.metrics.counter("not_found_retries").increment()
                 previous = self._next_backoff(attempt, previous)
-                when = failed_at + previous
+                when = done + previous
+                self.tracer.record("backoff", "retry", done, when,
+                                   key=key, attempt=attempt,
+                                   reason="not_found")
                 self._check_deadline(key, now, when, attempt)
-                continue
-            self._note_success(done)
-            if data is not None:
-                return data, done
-            self.metrics.counter("not_found_retries").increment()
-            previous = self._next_backoff(attempt, previous)
-            when = done + previous
-            self._check_deadline(key, now, when, attempt)
-        raise RetriesExhaustedError(key, self.policy.max_attempts)
+            raise RetriesExhaustedError(key, self.policy.max_attempts)
+        finally:
+            if span is not None:
+                self.tracer.finish(span, end=when, error="failed")
 
     def delete_at(self, key: str, now: float) -> float:
         """Delete with retry on transient failures (GC batches)."""
+        span = self.tracer.begin("delete", "client", start=now, key=key)
         when = now
         previous: "Optional[float]" = None
-        for attempt in range(1, self.policy.max_attempts + 1):
-            self._admit(key, when, bypass=False)
-            try:
-                done = self.store.delete_at(key, when, node=self.node_id)
-            except TransientRequestError as error:
-                failed_at = error.failed_at  # type: ignore[attr-defined]
-                self._note_failure(failed_at)
-                self.metrics.counter("delete_retries").increment()
-                previous = self._next_backoff(attempt, previous)
-                when = failed_at + previous
-                self._check_deadline(key, now, when, attempt)
-                continue
-            self._note_success(done)
-            return done
-        raise RetriesExhaustedError(key, self.policy.max_attempts)
+        try:
+            for attempt in range(1, self.policy.max_attempts + 1):
+                self._admit(key, when, bypass=False)
+                try:
+                    done = self.store.delete_at(key, when, node=self.node_id)
+                except TransientRequestError as error:
+                    failed_at = error.failed_at  # type: ignore[attr-defined]
+                    self._note_failure(failed_at)
+                    self.metrics.counter("delete_retries").increment()
+                    previous = self._next_backoff(attempt, previous)
+                    when = failed_at + previous
+                    self.tracer.record("backoff", "retry", failed_at, when,
+                                       key=key, attempt=attempt)
+                    self._check_deadline(key, now, when, attempt)
+                    continue
+                self._note_success(done)
+                self.tracer.finish(span, end=done, attempts=attempt)
+                span = None
+                return done
+            raise RetriesExhaustedError(key, self.policy.max_attempts)
+        finally:
+            if span is not None:
+                self.tracer.finish(span, end=when, error="failed")
 
     def exists_at(self, key: str, now: float) -> "Tuple[bool, float]":
         """Visibility probe with retry on transient failures (restart GC)."""
+        span = self.tracer.begin("head", "client", start=now, key=key)
         when = now
         previous: "Optional[float]" = None
-        for attempt in range(1, self.policy.max_attempts + 1):
-            self._admit(key, when, bypass=False)
-            try:
-                visible, done = self.store.exists_at(key, when,
-                                                     node=self.node_id)
-            except TransientRequestError as error:
-                failed_at = error.failed_at  # type: ignore[attr-defined]
-                self._note_failure(failed_at)
-                self.metrics.counter("head_retries").increment()
-                previous = self._next_backoff(attempt, previous)
-                when = failed_at + previous
-                self._check_deadline(key, now, when, attempt)
-                continue
-            self._note_success(done)
-            return visible, done
-        raise RetriesExhaustedError(key, self.policy.max_attempts)
+        try:
+            for attempt in range(1, self.policy.max_attempts + 1):
+                self._admit(key, when, bypass=False)
+                try:
+                    visible, done = self.store.exists_at(key, when,
+                                                         node=self.node_id)
+                except TransientRequestError as error:
+                    failed_at = error.failed_at  # type: ignore[attr-defined]
+                    self._note_failure(failed_at)
+                    self.metrics.counter("head_retries").increment()
+                    previous = self._next_backoff(attempt, previous)
+                    when = failed_at + previous
+                    self.tracer.record("backoff", "retry", failed_at, when,
+                                       key=key, attempt=attempt)
+                    self._check_deadline(key, now, when, attempt)
+                    continue
+                self._note_success(done)
+                self.tracer.finish(span, end=done, attempts=attempt)
+                span = None
+                return visible, done
+            raise RetriesExhaustedError(key, self.policy.max_attempts)
+        finally:
+            if span is not None:
+                self.tracer.finish(span, end=when, error="failed")
 
     # ------------------------------------------------------------------ #
     # synchronous wrappers (advance the clock)

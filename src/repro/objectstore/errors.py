@@ -67,3 +67,22 @@ class CircuitOpenError(ObjectStoreError):
         )
         self.key = key
         self.retry_at = retry_at
+
+
+class DegradedCacheMissError(CircuitOpenError):
+    """A degraded-mode OCM read missed the cache while the breaker is open.
+
+    Subclasses :class:`CircuitOpenError` so existing fail-fast handling
+    keeps working, but names the degraded state: the caller's page is
+    neither on the local SSD nor reachable on the fenced-off store, which
+    is a capacity/outage interaction worth distinguishing from an ordinary
+    breaker rejection.
+    """
+
+    def __init__(self, key: str, retry_at: float) -> None:
+        super().__init__(key, retry_at)
+        self.args = (
+            f"degraded mode: OCM cache miss for key {key!r} while the "
+            f"circuit breaker is open (store unreachable until "
+            f"t={retry_at:.3f}); the page is not on the local SSD cache",
+        )

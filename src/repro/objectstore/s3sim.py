@@ -40,6 +40,7 @@ from repro.sim.clock import VirtualClock
 from repro.sim.metrics import MetricsRegistry
 from repro.sim.pipes import Pipe, TokenBucket
 from repro.sim.rng import DeterministicRng
+from repro.sim.tracing import NULL_TRACER
 
 
 @dataclass(frozen=True)
@@ -118,6 +119,7 @@ class SimulatedObjectStore(ObjectStore):
         )
         self.meter = meter
         self.metrics = MetricsRegistry()
+        self.tracer = NULL_TRACER
         self._objects: Dict[str, VersionedObject] = {}
         self._prefix_put_buckets: Dict[str, TokenBucket] = {}
         self._prefix_get_buckets: Dict[str, TokenBucket] = {}
@@ -190,6 +192,30 @@ class SimulatedObjectStore(ObjectStore):
                 self.profile.volume, puts=puts, gets=gets, deletes=deletes
             )
 
+    def _trace_request(self, op: str, key: str, start: float, end: float,
+                       nbytes: int = 0, fault: "Optional[str]" = None,
+                       puts: int = 0, gets: int = 0,
+                       deletes: int = 0) -> None:
+        """One leaf span per request, with its USD cost attached.
+
+        The span starts at request issue time — throttle and bandwidth
+        queueing show up as store time, which is what per-prefix-limit
+        analyses need to see.  Failed attempts are recorded too (they are
+        billed and take time), tagged with the fault kind.
+        """
+        if not self.tracer.enabled:
+            return
+        attrs: "Dict[str, object]" = {"key": key}
+        if nbytes:
+            attrs["nbytes"] = nbytes
+        if fault is not None:
+            attrs["fault"] = fault
+        if self.meter is not None:
+            attrs["cost_usd"] = self.meter.prices.request_price(
+                self.profile.volume
+            ).cost(puts=puts, gets=gets, deletes=deletes)
+        self.tracer.record(op, "store", start, end, **attrs)
+
     # ------------------------------------------------------------------ #
     # timed API (never advances the clock)
     # ------------------------------------------------------------------ #
@@ -226,6 +252,8 @@ class SimulatedObjectStore(ObjectStore):
         kind = self._scheduled_failure(fault)
         if kind is None and self._transient_failure():
             kind = "transient"
+        self._trace_request("put", key, now, completion,
+                            nbytes=len(data), fault=kind, puts=1)
         if kind is not None:
             error = TransientRequestError(key, kind=kind)
             error.failed_at = completion  # type: ignore[attr-defined]
@@ -262,6 +290,8 @@ class SimulatedObjectStore(ObjectStore):
         if kind is None and self._transient_failure():
             kind = "transient"
         if kind is not None:
+            self._trace_request("get", key, now, served_at,
+                                fault=kind, gets=1)
             error = TransientRequestError(key, kind=kind)
             error.failed_at = served_at  # type: ignore[attr-defined]
             raise error
@@ -269,6 +299,8 @@ class SimulatedObjectStore(ObjectStore):
         data = versioned.visible_data(served_at) if versioned is not None else None
         if data is None:
             self.metrics.counter("get_misses").increment()
+            self._trace_request("get", key, now, served_at,
+                                fault="not_visible", gets=1)
             return None, served_at
         if versioned is not None and versioned.is_stale_read(served_at):
             self.metrics.counter("stale_reads").increment()
@@ -277,6 +309,8 @@ class SimulatedObjectStore(ObjectStore):
         )
         self.metrics.counter("get_bytes").increment(len(data))
         self.metrics.series("net_bytes").record(downloaded, len(data))
+        self._trace_request("get", key, now, downloaded,
+                            nbytes=len(data), gets=1)
         return data, downloaded
 
     def delete_at(self, key: str, now: float,
@@ -298,6 +332,8 @@ class SimulatedObjectStore(ObjectStore):
         kind = self._scheduled_failure(fault)
         if kind is None and self._aux_transient_failure():
             kind = "transient"
+        self._trace_request("delete", key, now, completion,
+                            fault=kind, deletes=1)
         if kind is not None:
             error = TransientRequestError(key, kind=kind)
             error.failed_at = completion  # type: ignore[attr-defined]
@@ -324,6 +360,8 @@ class SimulatedObjectStore(ObjectStore):
         kind = self._scheduled_failure(fault)
         if kind is None and self._aux_transient_failure():
             kind = "transient"
+        self._trace_request("head", key, now, served_at,
+                            fault=kind, gets=1)
         if kind is not None:
             error = TransientRequestError(key, kind=kind)
             error.failed_at = served_at  # type: ignore[attr-defined]

@@ -11,7 +11,14 @@ from repro.sim.clock import VirtualClock
 from repro.sim.rng import DeterministicRng
 from repro.sim.pipes import Pipe, TokenBucket
 from repro.sim.devices import QueueingDevice, DeviceProfile
-from repro.sim.metrics import Counter, Histogram, MetricsRegistry, TimeSeries
+from repro.sim.metrics import (
+    Counter,
+    Histogram,
+    MetricNameCollisionError,
+    MetricsRegistry,
+    TimeSeries,
+)
+from repro.sim.tracing import NULL_TRACER, Span, Tracer, TracingError
 
 __all__ = [
     "VirtualClock",
@@ -22,6 +29,11 @@ __all__ = [
     "DeviceProfile",
     "Counter",
     "Histogram",
+    "MetricNameCollisionError",
     "MetricsRegistry",
     "TimeSeries",
+    "NULL_TRACER",
+    "Span",
+    "Tracer",
+    "TracingError",
 ]

@@ -147,37 +147,69 @@ class TimeSeries:
         return f"TimeSeries({self.name!r}, samples={len(self._samples)})"
 
 
+class MetricNameCollisionError(ValueError):
+    """A metric name was registered under two different kinds.
+
+    ``snapshot()`` flattens counters and gauges into one dict, so a gauge
+    named like a counter would silently shadow it there; the registry now
+    rejects the collision at registration time instead.
+    """
+
+
 class MetricsRegistry:
-    """A named collection of metrics, one per simulated component."""
+    """A named collection of metrics, one per simulated component.
+
+    Names are unique across kinds: registering e.g. a gauge with the name
+    of an existing counter raises :class:`MetricNameCollisionError` (the
+    flat :meth:`snapshot` view would otherwise silently drop one of them).
+    """
 
     def __init__(self) -> None:
         self._counters: Dict[str, Counter] = {}
         self._gauges: Dict[str, Gauge] = {}
         self._histograms: Dict[str, Histogram] = {}
         self._series: Dict[str, TimeSeries] = {}
+        self._kinds: Dict[str, str] = {}
+
+    def _claim(self, name: str, kind: str) -> None:
+        existing = self._kinds.get(name)
+        if existing is None:
+            self._kinds[name] = kind
+        elif existing != kind:
+            raise MetricNameCollisionError(
+                f"metric name {name!r} is already registered as a "
+                f"{existing}; cannot also register it as a {kind}"
+            )
 
     def counter(self, name: str) -> Counter:
         if name not in self._counters:
+            self._claim(name, "counter")
             self._counters[name] = Counter(name)
         return self._counters[name]
 
     def gauge(self, name: str) -> Gauge:
         if name not in self._gauges:
+            self._claim(name, "gauge")
             self._gauges[name] = Gauge(name)
         return self._gauges[name]
 
     def histogram(self, name: str) -> Histogram:
         if name not in self._histograms:
+            self._claim(name, "histogram")
             self._histograms[name] = Histogram(name)
         return self._histograms[name]
 
     def series(self, name: str) -> TimeSeries:
         if name not in self._series:
+            self._claim(name, "series")
             self._series[name] = TimeSeries(name)
         return self._series[name]
 
     def counters(self) -> "Iterable[Counter]":
         return self._counters.values()
+
+    def histograms(self) -> "Dict[str, Histogram]":
+        return dict(self._histograms)
 
     def snapshot(self) -> "Dict[str, float]":
         """Flat view of all counter and gauge values (reports and tests)."""

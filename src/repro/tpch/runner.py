@@ -54,11 +54,17 @@ def power_run(
     """Run queries sequentially; return virtual seconds per query."""
     numbers = list(query_numbers or sorted(QUERIES))
     clock = session.clock
+    tracer = getattr(session, "tracer", None)
     times: Dict[int, float] = {}
     for number in numbers:
         started = clock.now()
-        with QueryContext(session, prefetch_window=prefetch_window) as ctx:
-            run_query(ctx, number, scale_factor)
+        span = tracer.begin(f"Q{number}", "query") if tracer is not None else None
+        try:
+            with QueryContext(session, prefetch_window=prefetch_window) as ctx:
+                run_query(ctx, number, scale_factor)
+        finally:
+            if tracer is not None:
+                tracer.finish(span)
         times[number] = clock.now() - started
     return times
 

@@ -34,3 +34,40 @@ def test_parser_rejects_unknown_command():
 def test_parser_requires_command():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])
+
+
+def test_trace_quickstart_writes_chrome_trace(tmp_path, capsys):
+    import json
+
+    output = tmp_path / "trace.json"
+    assert main(["trace", "quickstart", "--output", str(output)]) == 0
+    out = capsys.readouterr().out
+    assert "flamegraph" in out
+    assert "layer/op" in out
+    payload = json.loads(output.read_text())
+    assert payload["displayTimeUnit"] == "ms"
+    assert any(e.get("ph") == "X" for e in payload["traceEvents"])
+
+
+def test_trace_tpch_and_report_round_trip(tmp_path, capsys):
+    output = tmp_path / "trace.json"
+    assert main([
+        "trace", "tpch", "--scale-factor", "0.002", "--queries", "6",
+        "--output", str(output),
+    ]) == 0
+    trace_out = capsys.readouterr().out
+    assert "Q6" in trace_out
+    assert "spans" in trace_out
+
+    assert main(["report", "--input", str(output)]) == 0
+    report_out = capsys.readouterr().out
+    assert "query/Q6" in report_out
+    assert "store/get" in report_out
+
+
+def test_parser_accepts_trace_and_report():
+    args = build_parser().parse_args(["trace", "tpch", "--queries", "1,6"])
+    assert args.command == "trace"
+    assert args.workload == "tpch"
+    args = build_parser().parse_args(["report"])
+    assert args.input == "trace.json"

@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.sim.metrics import Counter, Histogram, MetricsRegistry, TimeSeries
+from repro.sim.metrics import (
+    Counter,
+    Histogram,
+    MetricNameCollisionError,
+    MetricsRegistry,
+    TimeSeries,
+)
 
 
 class TestCounter:
@@ -91,3 +97,43 @@ class TestRegistry:
         registry.counter("a").increment(2)
         registry.counter("b").increment(3)
         assert registry.snapshot() == {"a": 2, "b": 3}
+
+
+class TestMetricNameCollisions:
+    """Regression: snapshot() flat-merges counters and gauges, so a name
+    registered under two kinds would silently overwrite one of them.
+    Collisions now fail loudly at registration time."""
+
+    def test_counter_then_gauge_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("requests")
+        with pytest.raises(MetricNameCollisionError):
+            registry.gauge("requests")
+
+    def test_every_cross_kind_pair_raises(self):
+        kinds = ["counter", "gauge", "histogram", "series"]
+        for first in kinds:
+            for second in kinds:
+                if first == second:
+                    continue
+                registry = MetricsRegistry()
+                getattr(registry, first)("shared-name")
+                with pytest.raises(MetricNameCollisionError):
+                    getattr(registry, second)("shared-name")
+
+    def test_same_kind_reregistration_returns_same_object(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("requests")
+        assert registry.counter("requests") is counter
+        gauge = registry.gauge("depth")
+        assert registry.gauge("depth") is gauge
+        hist = registry.histogram("latency")
+        assert registry.histogram("latency") is hist
+        series = registry.series("throughput")
+        assert registry.series("throughput") is series
+
+    def test_collision_error_is_a_value_error(self):
+        registry = MetricsRegistry()
+        registry.histogram("x")
+        with pytest.raises(ValueError):
+            registry.counter("x")

@@ -191,3 +191,105 @@ def test_hit_rate():
 def test_capacity_validation():
     with pytest.raises(ValueError):
         make_ocm(capacity=0)
+
+
+class TestDeleteCancelsPendingUploads:
+    """Regression: delete must cancel queued write-backs, or a later drain
+    re-uploads the object — resurrecting a key the caller already deleted."""
+
+    def test_commit_flush_does_not_resurrect_deleted_object(self):
+        ocm, store, __ = make_ocm()
+        ocm.put("a/doomed", b"stale", txn_id=7, commit_mode=False)
+        ocm.put("a/kept", b"fresh", txn_id=7, commit_mode=False)
+        ocm.delete("a/doomed")
+
+        ocm.flush_for_commit(7)
+        assert store.latest_data("a/doomed") is None
+        assert not store.exists("a/doomed")
+        assert store.latest_data("a/kept") == b"fresh"
+        assert ocm.metrics.snapshot()["cancelled_uploads"] == 1
+
+    def test_shutdown_drain_does_not_resurrect_deleted_object(self):
+        ocm, store, __ = make_ocm()
+        ocm.put("a/doomed", b"stale", commit_mode=False)  # anonymous queue
+        ocm.delete("a/doomed")
+        assert ocm.pending_upload_count() == 0
+
+        ocm.drain_all()
+        assert store.latest_data("a/doomed") is None
+        assert not store.exists("a/doomed")
+
+    def test_delete_many_cancels_across_transactions(self):
+        ocm, store, __ = make_ocm()
+        ocm.put("a/1", b"x", txn_id=1, commit_mode=False)
+        ocm.put("a/2", b"y", txn_id=2, commit_mode=False)
+        ocm.put("a/3", b"z", commit_mode=False)
+        ocm.delete_many(["a/1", "a/2", "a/3"])
+        assert ocm.pending_upload_count() == 0
+        assert ocm.metrics.snapshot()["cancelled_uploads"] == 3
+
+        ocm.drain_all()
+        for name in ("a/1", "a/2", "a/3"):
+            assert store.latest_data(name) is None
+
+    def test_cancellation_holds_even_if_store_delete_fails(self):
+        clock = VirtualClock()
+        profile = ObjectStoreProfile(name="s3", consistency=STRONG,
+                                     transient_failure_probability=1.0,
+                                     latency_jitter=0.0)
+        from repro.sim.rng import DeterministicRng
+        store = SimulatedObjectStore(profile, clock=clock,
+                                     rng=DeterministicRng(3))
+        from repro.objectstore import RetryPolicy
+        client = RetryingObjectClient(
+            store, policy=RetryPolicy(max_attempts=2, initial_backoff=0.01,
+                                      max_backoff=0.02))
+        ocm = ObjectCacheManager(client, nvme_ssd(),
+                                 OcmConfig(capacity_bytes=1 << 20))
+        ocm.put("a/doomed", b"stale", commit_mode=False)
+        with pytest.raises(Exception):
+            ocm.delete("a/doomed")
+        # The queued upload is gone regardless of the delete RPC's fate.
+        assert ocm.pending_upload_count() == 0
+
+
+class TestInvalidateAllResetsUploadWindow:
+    """Regression: invalidate_all left stale completion times in the
+    upload-window heap, throttling the restarted node's first uploads."""
+
+    def test_inflight_heap_cleared(self):
+        ocm, store, clock = make_ocm(upload_window=1)
+        for i in range(4):
+            ocm.put(f"a/{i}", b"x" * 1000, txn_id=1, commit_mode=False)
+        ocm.flush_for_commit(1)
+        assert ocm._upload_inflight  # completions from the drained uploads
+
+        ocm.invalidate_all()
+        assert ocm._upload_inflight == []
+
+    def test_post_crash_upload_not_throttled_by_stale_window(self):
+        ocm, store, clock = make_ocm(upload_window=1)
+        for i in range(6):
+            ocm.put(f"a/{i}", b"x" * 4096, txn_id=1, commit_mode=False)
+        ocm.flush_for_commit(1)
+        ocm.invalidate_all()
+
+        # A fresh write-through upload must start now, not after the last
+        # pre-crash completion time.
+        t0 = clock.now()
+        ocm.put("b/0", b"y" * 4096, commit_mode=True)
+        first_after_crash = clock.now() - t0
+
+        fresh, fresh_store, fresh_clock = make_ocm(upload_window=1)
+        t1 = fresh_clock.now()
+        fresh.put("b/0", b"y" * 4096, commit_mode=True)
+        baseline = fresh_clock.now() - t1
+        assert first_after_crash == pytest.approx(baseline)
+
+    def test_degradation_bookkeeping_reset(self):
+        ocm, __, __ = make_ocm()
+        ocm._was_degraded = True
+        ocm.metrics.gauge("degraded_queue_depth").set(5.0)
+        ocm.invalidate_all()
+        assert ocm._was_degraded is False
+        assert ocm.metrics.snapshot()["degraded_queue_depth"] == 0.0

@@ -145,3 +145,62 @@ def test_commit_write_through_punches_through_open_breaker():
     assert store.latest_data("c/2") == b"commit-data"
     assert client.breaker_state() == "closed"
     assert not ocm.degraded()
+
+
+def test_degraded_recovery_drain_does_not_resurrect_deleted_object():
+    """Regression: a write-back queued during an outage, then deleted, must
+    not come back when the recovery drain flushes the degraded backlog."""
+    ocm, client, store, clock = make_ocm()
+    ocm.put("p/keep", b"warm", commit_mode=True)  # cached before the outage
+
+    clock.advance_to(10.5)
+    trip_breaker(client)
+    ocm.put("p/doomed", b"stale", commit_mode=False)  # queued locally
+    assert ocm.pending_upload_count() == 1
+
+    # Outage over, breaker cool-down elapsed: the delete rides the
+    # half-open probe, succeeds, and closes the breaker.  delete() itself
+    # never drains, so the degraded backlog is still waiting.
+    clock.advance_to(21.5)
+    ocm.delete("p/doomed")
+    assert client.breaker_state() == "closed"
+    assert ocm.pending_upload_count() == 0
+
+    # The next public operation notices the recovery and drains the
+    # (now-empty) backlog: the deleted object must stay deleted.
+    assert ocm.get("p/keep") == b"warm"
+    assert store.latest_data("p/doomed") is None
+    assert not store.exists("p/doomed")
+    snap = ocm.metrics.snapshot()
+    assert snap["cancelled_uploads"] == 1
+    assert snap["degraded_recoveries"] == 1
+    assert snap.get("degraded_drained_uploads", 0) == 0
+
+
+def test_degraded_cache_miss_raises_wrapped_error():
+    ocm, client, __, clock = make_ocm()
+    clock.advance_to(10.5)
+    trip_breaker(client)
+    assert ocm.degraded()
+
+    from repro.objectstore.errors import DegradedCacheMissError
+    with pytest.raises(DegradedCacheMissError) as excinfo:
+        ocm.get("p/never-cached")
+    # Still a CircuitOpenError, so existing fail-fast handling keeps working.
+    assert isinstance(excinfo.value, CircuitOpenError)
+    message = str(excinfo.value)
+    assert "degraded" in message
+    assert "p/never-cached" in message
+    assert ocm.metrics.snapshot()["degraded_miss_failures"] == 1
+
+
+def test_degraded_get_many_miss_counts_all_misses():
+    ocm, client, __, clock = make_ocm()
+    ocm.put("p/cached", b"x", commit_mode=True)
+    clock.advance_to(10.5)
+    trip_breaker(client)
+
+    from repro.objectstore.errors import DegradedCacheMissError
+    with pytest.raises(DegradedCacheMissError):
+        ocm.get_many(["p/cached", "p/miss-1", "p/miss-2"])
+    assert ocm.metrics.snapshot()["degraded_miss_failures"] == 2
