@@ -3,6 +3,7 @@ ablations subdirectory can import them without conftest name clashes)."""
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
@@ -14,3 +15,15 @@ def emit(name: str, text: str) -> None:
     print(banner)
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def emit_json(name: str, payload: object) -> pathlib.Path:
+    """Persist a machine-readable result under benchmarks/results/.
+
+    Written alongside the text tables so downstream tooling (CI trend
+    tracking, cost dashboards) can consume runs without parsing tables.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path

@@ -22,6 +22,7 @@ class _Suite:
         self._ocm_runs = None
         self._scale_up = None
         self._scale_out = None
+        self._policy_ablation = None
 
     def volume_runs(self):
         if self._volume_runs is None:
@@ -42,6 +43,11 @@ class _Suite:
         if self._scale_out is None:
             self._scale_out = experiments.run_scale_out()
         return self._scale_out
+
+    def policy_ablation(self):
+        if self._policy_ablation is None:
+            self._policy_ablation = experiments.run_policy_ablation()
+        return self._policy_ablation
 
 
 @pytest.fixture(scope="session")

@@ -7,7 +7,7 @@ eviction counts of the same order as the misses.
 
 from bench_utils import emit
 
-from repro.bench.experiments import table5_rows
+from repro.bench.experiments import policy_ablation_rows, table5_rows
 from repro.bench.report import format_table
 
 
@@ -29,4 +29,33 @@ def test_table5_ocm_utilization(benchmark, suite):
         {"hit_rate": round(hit_rate, 3),
          "hits": int(hits), "misses": int(misses),
          "evictions": int(stats["evictions"])}
+    )
+
+
+def test_table5_policy_ablation_hit_ratios(benchmark, suite):
+    """Table 5 companion: OCM utilization per eviction policy.
+
+    At the default (working-set-sized) OCM capacity the three read-path
+    variants must all sustain a healthy hit-rate majority — the arc2q
+    segmentation and the adaptive re-routing arm may move requests
+    around, but neither is allowed to wreck utilization on the plain
+    TPC-H pass.
+    """
+    runs = benchmark.pedantic(suite.policy_ablation, rounds=1, iterations=1)
+    rows = policy_ablation_rows(runs)
+    emit("table5_policy_ablation",
+         format_table(
+             ["policy", "hit rate", "evictions", "geomean s", "queries s"],
+             rows,
+         ))
+    hit_rates = {}
+    for name, run in runs.items():
+        stats = run.ocm_stats()
+        hits, misses = stats["hits"], stats["misses"]
+        hit_rates[name] = hits / (hits + misses)
+        assert 0.55 < hit_rates[name] < 0.95, (
+            f"{name}: hit rate {hit_rates[name]:.1%} out of range"
+        )
+    benchmark.extra_info.update(
+        {name: f"{rate:.1%}" for name, rate in hit_rates.items()}
     )

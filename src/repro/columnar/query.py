@@ -45,13 +45,23 @@ def n_rows(rel: Relation) -> int:
 class QueryContext:
     """One transaction's view for query execution."""
 
-    def __init__(self, session, txn=None, prefetch_window: int = 32) -> None:
+    def __init__(self, session, txn=None, prefetch_window: int = 32,
+                 pipelined: "Optional[bool]" = None) -> None:
         self.session = session
         self.cpu = session.cpu
         self.buffer = session.buffer
+        self.clock = session.cpu.clock
         self._own_txn = txn is None
         self.txn = txn if txn is not None else session.begin()
         self.prefetch_window = prefetch_window
+        # Pipelined scans: issue batch N+1's page fetches while batch N
+        # decodes, so scan virtual time approaches max(io, cpu) instead
+        # of io + cpu.  Defaults to the session's `pipelined_prefetch`
+        # config knob (off: the paper's serial prefetch-then-decode).
+        if pipelined is None:
+            config = getattr(session, "config", None)
+            pipelined = bool(getattr(config, "pipelined_prefetch", False))
+        self.pipelined = pipelined
         self._states: Dict[str, TableState] = {}
         self._zonemaps: Dict[str, ZoneMaps] = {}
         self._hg: Dict[Tuple[str, str], HgIndex] = {}
@@ -101,6 +111,18 @@ class QueryContext:
             payload = read_blob(self.buffer, handle,
                                 window=self.prefetch_window)
             cached = parse(payload)
+            # Evict entries for superseded versions of this object: each
+            # commit bumps the version, and without this the cache grows
+            # by one parsed copy per object per commit, forever.  (A
+            # concurrent context pinned to an older snapshot just
+            # re-reads — correctness comes from the version key, not
+            # from retention here.)
+            stale = [
+                k for k in cache
+                if k[0] == object_name and k[1] != handle.version
+            ]
+            for old in stale:
+                del cache[old]
             cache[key] = cached
         return cached
 
@@ -178,14 +200,41 @@ class QueryContext:
             self._decoded.clear()
         return values
 
-    def _prefetch_pages(self, object_name: str, pages: "Sequence[int]") -> None:
+    def _prefetch_pages(self, object_name: str, pages: "Sequence[int]",
+                        scan_hint: bool = False) -> None:
         missing = [
             p for p in pages if (object_name, p) not in self._decoded
         ]
         if missing:
             self.buffer.prefetch(
-                self._handle(object_name), missing, window=self.prefetch_window
+                self._handle(object_name), missing,
+                window=self.prefetch_window, scan_hint=scan_hint
             )
+
+    def _issue_batch(self, schema, needed: "Sequence[str]", partition: int,
+                     batch: "Sequence[int]") -> float:
+        """Issue one pipelined batch's fetches across all needed columns.
+
+        All columns are issued at the same virtual instant (their I/O
+        overlaps); returns the latest completion time.  The shared clock
+        does not move — the caller decodes the previous batch meanwhile.
+        """
+        now = self.clock.now()
+        requests = []
+        for column in needed:
+            object_name = schema.column_object(column, partition)
+            missing = [
+                p for p in batch if (object_name, p) not in self._decoded
+            ]
+            if missing:
+                requests.append((self._handle(object_name), missing))
+        if not requests:
+            return now
+        # One combined issue: the loader interleaves column objects
+        # page-by-page, so a batch's keys are adjacent ACROSS columns at
+        # each page index — issuing them together lets the object client
+        # coalesce them into ranged multi-gets.
+        return self.buffer.prefetch_issue_many(requests, now, scan_hint=True)
 
     # ------------------------------------------------------------------ #
     # scans
@@ -236,40 +285,118 @@ class QueryContext:
         if with_rowids:
             out[ROWID] = []
         deleted = self.deleted_rows(table)
+        if self.pipelined:
+            self._read_pipelined(table, schema, needed, columns, predicates,
+                                 deleted, out, with_rowids)
+            return out
         for partition in range(schema.partition_count):
             pages = self._candidate_pages(table, partition, predicates)
             # Aggressive parallel prefetch across all needed columns.
             for column in needed:
                 self._prefetch_pages(
-                    schema.column_object(column, partition), pages
+                    schema.column_object(column, partition), pages,
+                    scan_hint=True
                 )
             for page_no in pages:
-                page_values = {
-                    column: self._column_page(
-                        schema.column_object(column, partition), page_no
-                    )
-                    for column in needed
-                }
-                count = len(next(iter(page_values.values()))) if needed else 0
-                mask = self._evaluate(predicates, page_values, count)
-                self.cpu.charge(_SCAN_OPS * count * max(1, len(columns)))
-                base_row = make_row_id(
-                    partition, page_no * schema.rows_per_page
-                )
-                if deleted:
-                    for i in range(count):
-                        if mask[i] and (base_row + i) in deleted:
-                            mask[i] = False
-                for column in columns:
-                    values = page_values[column]
-                    out[column].extend(
-                        value for value, keep in zip(values, mask) if keep
-                    )
-                if with_rowids:
-                    out[ROWID].extend(
-                        base_row + i for i, keep in enumerate(mask) if keep
-                    )
+                self._scan_page(schema, needed, columns, predicates,
+                                deleted, out, with_rowids, partition, page_no)
         return out
+
+    def _read_pipelined(
+        self,
+        table: str,
+        schema,
+        needed: "Sequence[str]",
+        columns: "Sequence[str]",
+        predicates: "Dict[str, Predicate]",
+        deleted: RowIdSet,
+        out: Relation,
+        with_rowids: bool,
+    ) -> None:
+        """Pipelined scan body: batch N+1's I/O overlaps batch N's decode.
+
+        The batch plan is global across partitions — a partition whose
+        candidate pages fit in one prefetch window still overlaps with
+        the next partition's fetches, so the pipeline never drains at
+        partition boundaries.
+        """
+        window = max(1, self.prefetch_window)
+        page_size = getattr(getattr(self.session, "config", None),
+                            "page_size", None)
+        capacity = getattr(self.buffer, "capacity_bytes", None)
+        if page_size and capacity:
+            # Two batches are in flight at once (the one decoding and the
+            # one being fetched); keep both within the buffer so the
+            # pipeline never evicts frames it is about to decode.
+            frames = max(1, capacity // page_size)
+            window = max(1, min(window, frames // (2 * max(1, len(needed)))))
+        plan: "List[Tuple[int, List[int]]]" = []
+        for partition in range(schema.partition_count):
+            pages = self._candidate_pages(table, partition, predicates)
+            plan.extend(
+                (partition, pages[i:i + window])
+                for i in range(0, len(pages), window)
+            )
+        if not plan:
+            return
+        # Issue batch 0 now; each later batch is issued while its
+        # predecessor decodes, so I/O and CPU overlap.
+        pending = self._issue_batch(schema, needed, plan[0][0], plan[0][1])
+        for index, (partition, batch) in enumerate(plan):
+            # Wait for this batch's I/O (often already overlapped by the
+            # previous batch's decode), then put the next batch's fetches
+            # in flight before decoding.
+            self.clock.advance_to(max(self.clock.now(), pending))
+            if index + 1 < len(plan):
+                next_partition, next_batch = plan[index + 1]
+                pending = self._issue_batch(
+                    schema, needed, next_partition, next_batch
+                )
+            decode_start = self.clock.now()
+            for page_no in batch:
+                self._scan_page(schema, needed, columns, predicates,
+                                deleted, out, with_rowids, partition, page_no)
+            self.buffer.tracer.record(
+                "decode", "query", decode_start, self.clock.now(),
+                table=table, partition=partition, pages=len(batch)
+            )
+
+    def _scan_page(
+        self,
+        schema,
+        needed: "Sequence[str]",
+        columns: "Sequence[str]",
+        predicates: "Dict[str, Predicate]",
+        deleted: RowIdSet,
+        out: Relation,
+        with_rowids: bool,
+        partition: int,
+        page_no: int,
+    ) -> None:
+        """Decode, filter and materialize one page into ``out``."""
+        page_values = {
+            column: self._column_page(
+                schema.column_object(column, partition), page_no
+            )
+            for column in needed
+        }
+        count = len(next(iter(page_values.values()))) if needed else 0
+        mask = self._evaluate(predicates, page_values, count)
+        self.cpu.charge(_SCAN_OPS * count * max(1, len(columns)))
+        base_row = make_row_id(partition, page_no * schema.rows_per_page)
+        if deleted:
+            for i in range(count):
+                if mask[i] and (base_row + i) in deleted:
+                    mask[i] = False
+        for column in columns:
+            values = page_values[column]
+            out[column].extend(
+                value for value, keep in zip(values, mask) if keep
+            )
+        if with_rowids:
+            out[ROWID].extend(
+                base_row + i for i, keep in enumerate(mask) if keep
+            )
 
     def _evaluate(
         self,

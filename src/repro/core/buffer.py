@@ -206,9 +206,10 @@ class BufferManager:
             self._insert((handle.object_id, page_no, handle.version), frame)
             return data
 
-    def prefetch(self, handle: ObjectHandle, page_nos: "Iterable[int]",
-                 window: int = 32) -> int:
-        """Bring missing pages into cache with parallel I/O; returns count."""
+    def _missing_pages(
+        self, handle: ObjectHandle, page_nos: "Iterable[int]"
+    ) -> "Tuple[List[int], List[int]]":
+        """Pages not yet framed, with their locators (prefetch planning)."""
         missing: List[int] = []
         locators: List[int] = []
         for page_no in page_nos:
@@ -219,17 +220,89 @@ class BufferManager:
                 continue
             missing.append(page_no)
             locators.append(locator)
+        return missing, locators
+
+    def prefetch(self, handle: ObjectHandle, page_nos: "Iterable[int]",
+                 window: int = 32, scan_hint: bool = False) -> int:
+        """Bring missing pages into cache with parallel I/O; returns count."""
+        missing, locators = self._missing_pages(handle, page_nos)
         if not missing:
             return 0
         with self.tracer.span("prefetch", "buffer",
                               object=handle.name, pages=len(missing)):
-            payloads = handle.dbspace.read_pages(locators)
+            payloads = handle.dbspace.read_pages(locators,
+                                                 scan_hint=scan_hint)
             for page_no, locator in zip(missing, locators):
                 data = self.codec.decompress(payloads[locator])
                 frame = Frame(data=data, locator=locator, page_no=page_no)
                 self._insert((handle.object_id, page_no, handle.version), frame)
         self.metrics.counter("prefetched").increment(len(missing))
         return len(missing)
+
+    def prefetch_issue(self, handle: ObjectHandle,
+                       page_nos: "Iterable[int]", now: float,
+                       scan_hint: bool = False) -> float:
+        """Issue a prefetch for one object; see :meth:`prefetch_issue_many`."""
+        return self.prefetch_issue_many([(handle, page_nos)], now,
+                                        scan_hint=scan_hint)
+
+    def prefetch_issue_many(
+        self,
+        requests: "Iterable[Tuple[ObjectHandle, Iterable[int]]]",
+        now: float,
+        scan_hint: bool = False,
+    ) -> float:
+        """Issue prefetches WITHOUT waiting: the pipelined scan path.
+
+        Charges the I/O path from ``now`` and returns the batch's
+        completion time without advancing the shared clock — the caller
+        decodes the previous batch meanwhile and advances to this
+        completion before consuming the pages.  Frames are inserted
+        immediately (available once the caller has waited).  The recorded
+        ``prefetch_issue`` span keeps its real end time, so traces show
+        it overlapping the caller's decode spans.
+
+        All requested objects' misses are issued together, grouped per
+        dbspace into ONE timed read — so a scan batch covering several
+        column objects reaches the object client as a single key list,
+        where adjacent keys (columns loaded side by side) coalesce into
+        ranged multi-gets.
+        """
+        plans: "List[Tuple[ObjectHandle, List[int], List[int]]]" = []
+        by_space: "Dict[int, Tuple[PageStore, List[int]]]" = {}
+        for handle, page_nos in requests:
+            missing, locators = self._missing_pages(handle, page_nos)
+            if not missing:
+                continue
+            plans.append((handle, missing, locators))
+            space = by_space.setdefault(
+                id(handle.dbspace), (handle.dbspace, [])
+            )
+            space[1].extend(locators)
+        if not plans:
+            return now
+        done = now
+        payload_maps: "Dict[int, Dict[int, bytes]]" = {}
+        for space_id, (dbspace, locators) in by_space.items():
+            payloads, space_done = dbspace.read_pages_at(
+                locators, now, scan_hint=scan_hint
+            )
+            payload_maps[space_id] = payloads
+            done = max(done, space_done)
+        total = 0
+        for handle, missing, locators in plans:
+            payloads = payload_maps[id(handle.dbspace)]
+            for page_no, locator in zip(missing, locators):
+                data = self.codec.decompress(payloads[locator])
+                frame = Frame(data=data, locator=locator, page_no=page_no)
+                self._insert((handle.object_id, page_no, handle.version),
+                             frame)
+            total += len(missing)
+        self.metrics.counter("prefetched").increment(total)
+        self.metrics.counter("pipelined_prefetches").increment(total)
+        self.tracer.record("prefetch_issue", "buffer", now, done,
+                           objects=len(plans), pages=total)
+        return done
 
     # ------------------------------------------------------------------ #
     # write path

@@ -13,7 +13,11 @@ between it and the object store:
   asynchronously cached;
 - **FlushForCommit**: a committing transaction's queued background uploads
   are promoted ahead of other transactions' and drained write-through;
-- a single **LRU** list orders read and write traffic together.
+- a pluggable **eviction policy** orders read and write traffic together:
+  the default ``lru`` policy is the paper's single LRU list; ``arc2q``
+  (see :mod:`repro.core.cache_policy`) adds probationary/protected
+  segments with ghost lists and a scan-hint admission rule so one bulk
+  scan cannot flush the hot working set.
 
 Asynchronous work is modelled by charging the SSD/NIC pipes at enqueue time
 without advancing the shared clock; because the SSD's bandwidth pipe is
@@ -29,6 +33,7 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.core.cache_policy import make_policy
 from repro.objectstore.client import RetryingObjectClient
 from repro.objectstore.errors import CircuitOpenError, DegradedCacheMissError
 from repro.sim.devices import DeviceProfile, QueueingDevice
@@ -45,6 +50,10 @@ class OcmConfig:
     capacity_bytes: int
     upload_window: int = 16
     read_window: int = 32
+    # Eviction policy: "lru" (the paper's single LRU list, default) or
+    # "arc2q" (scan-resistant probation/protected segments with ghost
+    # lists; see repro.core.cache_policy).
+    policy: str = "lru"
     # Ablation knob: insert write-back pages into the LRU immediately
     # instead of after upload success (the paper's rule is False).
     lru_insert_before_upload: bool = False
@@ -108,6 +117,7 @@ class ObjectCacheManager(ObjectIO):
         self.metrics = MetricsRegistry()
         self.tracer = NULL_TRACER
         self._entries: "OrderedDict[str, _CacheEntry]" = OrderedDict()
+        self._policy = make_policy(config.policy, config.capacity_bytes)
         self._used = 0
         self._pending: "Dict[int, List[_PendingUpload]]" = {}
         self._anonymous_pending: "List[_PendingUpload]" = []
@@ -176,40 +186,47 @@ class ObjectCacheManager(ObjectIO):
             self._anonymous_pending
         )
 
-    def _insert(self, name: str, data: bytes, uploaded: bool, in_lru: bool) -> None:
+    def _insert(self, name: str, data: bytes, uploaded: bool, in_lru: bool,
+                scan_hint: bool = False) -> None:
         old = self._entries.pop(name, None)
         if old is not None:
             self._used -= old.size
         entry = _CacheEntry(name, bytes(data), uploaded, in_lru)
         self._entries[name] = entry
         self._used += entry.size
+        self._policy.on_insert(name, entry.size, scan_hint)
         self._evict_if_needed()
 
-    def _remove(self, name: str) -> "Optional[_CacheEntry]":
+    def _remove(self, name: str, evicted: bool = False) -> "Optional[_CacheEntry]":
         entry = self._entries.pop(name, None)
         if entry is not None:
             self._used -= entry.size
+            self._policy.on_remove(name, evicted)
         return entry
 
-    def _touch(self, name: str) -> None:
-        self._entries.move_to_end(name)
+    def _touch(self, name: str, scan_hint: bool = False) -> None:
+        self._policy.on_access(name, scan_hint)
 
     def _evict_if_needed(self) -> None:
-        """LRU eviction; only uploaded, LRU-listed entries are victims.
+        """Policy-ordered eviction; only uploaded, listed entries are victims.
 
-        Under the ``lru_insert_before_upload`` ablation, not-yet-uploaded
-        LRU residents are also eligible, but evicting one forces its
-        upload synchronously first (the data must not be lost) — the cost
-        the paper's insert-after-upload rule avoids paying for pages of
-        doomed transactions.
+        The policy supplies the victim *order*; eviction *eligibility*
+        stays here.  Under the ``lru_insert_before_upload`` ablation,
+        not-yet-uploaded listed residents are also eligible, but evicting
+        one forces its upload synchronously first (the data must not be
+        lost) — the cost the paper's insert-after-upload rule avoids
+        paying for pages of doomed transactions.
         """
         if self._used <= self.config.capacity_bytes:
             return
         victims: List[str] = []
         projected = self._used
-        for name, entry in self._entries.items():
+        for name in self._policy.eviction_order():
             if projected <= self.config.capacity_bytes:
                 break
+            entry = self._entries.get(name)
+            if entry is None:
+                continue
             if entry.in_lru and entry.uploaded:
                 victims.append(name)
                 projected -= entry.size
@@ -218,7 +235,7 @@ class ObjectCacheManager(ObjectIO):
                 victims.append(name)
                 projected -= entry.size
         for name in victims:
-            self._remove(name)
+            self._remove(name, evicted=True)
             self.metrics.counter("evictions").increment()
 
     def _force_upload(self, name: str) -> None:
@@ -261,16 +278,16 @@ class ObjectCacheManager(ObjectIO):
             nbytes
         )
 
-    def get(self, name: str) -> bytes:
+    def get(self, name: str, scan_hint: bool = False) -> bytes:
         self._track_degradation()
         with self.tracer.span("get", "ocm", key=name) as span:
-            data, outcome = self._get_inner(name)
+            data, outcome = self._get_inner(name, scan_hint)
             if span is not None:
                 span.attrs["outcome"] = outcome
                 span.attrs["nbytes"] = len(data)
             return data
 
-    def _get_inner(self, name: str) -> "Tuple[bytes, str]":
+    def _get_inner(self, name: str, scan_hint: bool = False) -> "Tuple[bytes, str]":
         now = self.clock.now()
         degraded = self.degraded()
         entry = self._entries.get(name)
@@ -282,7 +299,7 @@ class ObjectCacheManager(ObjectIO):
                 self.tracer.record("read", "ssd", now, done,
                                    key=name, nbytes=entry.size)
                 self.clock.advance_to(done)
-                self._touch(name)
+                self._touch(name, scan_hint)
                 self.metrics.counter("hits").increment()
                 self.metrics.counter("degraded_reads").increment()
                 return entry.data, "degraded_hit"
@@ -291,7 +308,7 @@ class ObjectCacheManager(ObjectIO):
                 # fills; serve this hit from the object store instead.
                 data, done = self.client.get_at(name, now)
                 self.clock.advance_to(done)
-                self._touch(name)
+                self._touch(name, scan_hint)
                 self.metrics.counter("hits").increment()
                 self.metrics.counter("rerouted_reads").increment()
                 return data, "rerouted_hit"
@@ -301,7 +318,7 @@ class ObjectCacheManager(ObjectIO):
             self.tracer.record("read", "ssd", now, done,
                                key=name, nbytes=entry.size)
             self.clock.advance_to(done)
-            self._touch(name)
+            self._touch(name, scan_hint)
             self.metrics.counter("hits").increment()
             return entry.data, "hit"
         self.metrics.counter("misses").increment()
@@ -318,10 +335,12 @@ class ObjectCacheManager(ObjectIO):
         fill_done = self.device.write(len(data), fill_start)
         self.tracer.record("fill", "ssd", fill_start, fill_done,
                            key=name, nbytes=len(data))
-        self._insert(name, data, uploaded=True, in_lru=True)
+        self._insert(name, data, uploaded=True, in_lru=True,
+                     scan_hint=scan_hint)
         return data, "miss"
 
-    def get_many(self, names: "Sequence[str]") -> "Dict[str, bytes]":
+    def get_many(self, names: "Sequence[str]",
+                 scan_hint: bool = False) -> "Dict[str, bytes]":
         """Parallel read: SSD hits and object store misses overlap."""
         self._track_degradation()
         t0 = self.clock.now()
@@ -341,7 +360,7 @@ class ObjectCacheManager(ObjectIO):
                         self.tracer.record("read", "ssd", t0, done,
                                            key=name, nbytes=entry.size)
                         hit_last = max(hit_last, done)
-                        self._touch(name)
+                        self._touch(name, scan_hint)
                         hit_count += 1
                         self.metrics.counter("hits").increment()
                         self.metrics.counter("degraded_reads").increment()
@@ -349,7 +368,7 @@ class ObjectCacheManager(ObjectIO):
                         continue
                     if entry.uploaded and self._should_reroute(entry.size, t0):
                         rerouted.append(name)
-                        self._touch(name)
+                        self._touch(name, scan_hint)
                         hit_count += 1
                         self.metrics.counter("hits").increment()
                         self.metrics.counter("rerouted_reads").increment()
@@ -359,7 +378,7 @@ class ObjectCacheManager(ObjectIO):
                     self.tracer.record("read", "ssd", t0, done,
                                        key=name, nbytes=entry.size)
                     hit_last = max(hit_last, done)
-                    self._touch(name)
+                    self._touch(name, scan_hint)
                     hit_count += 1
                     self.metrics.counter("hits").increment()
                     results[name] = entry.data
@@ -392,12 +411,76 @@ class ObjectCacheManager(ObjectIO):
                     fill_done = self.device.write(len(data), fill_time)
                     self.tracer.record("fill", "ssd", fill_time, fill_done,
                                        key=name, nbytes=len(data))
-                    self._insert(name, data, uploaded=True, in_lru=True)
+                    self._insert(name, data, uploaded=True, in_lru=True,
+                                 scan_hint=scan_hint)
                     results[name] = data
             self.clock.advance_to(max(self.clock.now(), hit_last))
             return results
         finally:
             self.tracer.finish(span, hits=hit_count, misses=len(misses))
+
+    def get_many_at(self, names: "Sequence[str]", now: float,
+                    scan_hint: bool = False,
+                    ) -> "Tuple[Dict[str, bytes], float]":
+        """Timed variant of :meth:`get_many` for pipelined prefetch.
+
+        Charges the SSD device and the object-store pipes from ``now``
+        and returns ``(results, completion_time)`` WITHOUT advancing the
+        shared clock — the caller overlaps its own CPU work with the
+        in-flight I/O and waits for ``completion_time`` when it needs
+        the data.  Entries are inserted immediately (the simulation's
+        usual convention for asynchronously arriving state).
+        """
+        self._track_degradation()
+        degraded = self.degraded()
+        results: Dict[str, bytes] = {}
+        hit_last = now
+        hit_count = 0
+        misses: List[str] = []
+        for name in names:
+            entry = self._entries.get(name)
+            if entry is None:
+                misses.append(name)
+                continue
+            done = self.device.read(entry.size, now)
+            self.tracer.record("read", "ssd", now, done,
+                               key=name, nbytes=entry.size)
+            hit_last = max(hit_last, done)
+            self._touch(name, scan_hint)
+            hit_count += 1
+            self.metrics.counter("hits").increment()
+            if degraded:
+                self.metrics.counter("degraded_reads").increment()
+            results[name] = entry.data
+        miss_done = now
+        if misses:
+            self.metrics.counter("misses").increment(len(misses))
+            try:
+                fetched, miss_done = self.client.get_many_at(
+                    misses, now, window=self.config.read_window
+                )
+            except CircuitOpenError as exc:
+                if degraded:
+                    self.metrics.counter(
+                        "degraded_miss_failures"
+                    ).increment(len(misses))
+                    raise DegradedCacheMissError(
+                        misses[0], exc.retry_at
+                    ) from exc
+                raise
+            for name in misses:
+                data = fetched[name]
+                fill_done = self.device.write(len(data), miss_done)
+                self.tracer.record("fill", "ssd", miss_done, fill_done,
+                                   key=name, nbytes=len(data))
+                self._insert(name, data, uploaded=True, in_lru=True,
+                             scan_hint=scan_hint)
+                results[name] = data
+        done = max(hit_last, miss_done)
+        self.tracer.record("get_many_issue", "ocm", now, done,
+                           count=len(names), hits=hit_count,
+                           misses=len(misses))
+        return results, done
 
     # ------------------------------------------------------------------ #
     # writes
@@ -601,6 +684,7 @@ class ObjectCacheManager(ObjectIO):
         that no longer exists.
         """
         self._entries.clear()
+        self._policy.clear()
         self._pending.clear()
         self._anonymous_pending.clear()
         self._upload_inflight.clear()
@@ -609,11 +693,13 @@ class ObjectCacheManager(ObjectIO):
         self.metrics.gauge("degraded_queue_depth").set(0.0)
 
     def stats(self) -> "Dict[str, float]":
-        """Hit/miss/eviction counters (Table 5)."""
+        """Hit/miss/eviction counters (Table 5), plus policy counters."""
         snapshot = self.metrics.snapshot()
         snapshot.setdefault("hits", 0.0)
         snapshot.setdefault("misses", 0.0)
         snapshot.setdefault("evictions", 0.0)
+        for key, value in self._policy.stats().items():
+            snapshot[f"policy_{key}"] = value
         return snapshot
 
     def hit_rate(self) -> float:

@@ -91,6 +91,16 @@ class DatabaseConfig:
     ocm_capacity_bytes: int = 256 * MIB
     ocm_ssd_count: int = 2
     ocm_upload_window: int = 16
+    # OCM eviction policy: "lru" (the paper's cache) or "arc2q"
+    # (scan-resistant probation/protected segments with ghost lists)
+    ocm_policy: str = "lru"
+    # Pipelined scans: QueryContext overlaps batch N's decode with batch
+    # N+1's object fetches instead of strictly alternating them
+    pipelined_prefetch: bool = False
+    # GET coalescing: the object client merges adjacent-key reads into
+    # ranged multi-gets (one billed request, one token) before the
+    # per-prefix token buckets
+    coalesce_gets: bool = False
     # object store behaviour
     consistency: ConsistencyModel = EVENTUAL
     prefix_bits: int = 16
@@ -375,6 +385,7 @@ class Database:
                 breaker=cfg.breaker,
                 hedge=cfg.hedge,
                 rng=self.rng.substream("object-client"),
+                coalesce_gets=cfg.coalesce_gets,
             )
             if cfg.ocm_enabled:
                 ssd = scaled_profile(
@@ -393,6 +404,7 @@ class Database:
                         upload_window=cfg.ocm_upload_window,
                         read_window=cfg.parallel_window,
                         adaptive_read_routing=cfg.ocm_adaptive_routing,
+                        policy=cfg.ocm_policy,
                     ),
                     rng=self.rng.substream("ocm"),
                 )
@@ -476,6 +488,7 @@ class Database:
             store, policy=cfg.retry, parallel_window=cfg.parallel_window,
             node_id=cfg.node_id, breaker=cfg.breaker, hedge=cfg.hedge,
             rng=self.rng.substream(f"object-client/{name}"),
+            coalesce_gets=cfg.coalesce_gets,
         )
         encryptor = (
             PageEncryptor(cfg.encryption_key)

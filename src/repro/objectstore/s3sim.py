@@ -25,7 +25,7 @@ clock to each operation's completion (convenient in tests and examples).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, Optional, Tuple
+from typing import Dict, Iterator, Optional, Sequence, Tuple
 
 from repro.costs.meter import CostMeter
 from repro.objectstore.base import ObjectStore
@@ -312,6 +312,71 @@ class SimulatedObjectStore(ObjectStore):
         self._trace_request("get", key, now, downloaded,
                             nbytes=len(data), gets=1)
         return data, downloaded
+
+    def get_range_at(self, keys: "Sequence[str]", now: float,
+                     bandwidth: "Optional[Pipe]" = None,
+                     node: "Optional[str]" = None,
+                     ) -> "Tuple[Dict[str, Optional[bytes]], float]":
+        """Serve a ranged multi-get of adjacent keys as ONE billed request.
+
+        The coalescing client (``coalesce_gets``) batches runs of adjacent
+        64-bit page keys into a single request: one token against the first
+        key's per-prefix GET bucket, one request latency, one billed GET —
+        the fault schedule, failure draw and throttling all apply once, to
+        the whole range (a transient failure fails, and later retries, the
+        entire range).  Per-key visibility still applies: keys not visible
+        at service time come back as ``None`` (the client falls back to
+        single GETs for those).  Transfer time is charged for the combined
+        visible payload.  Returns ``({key: data_or_None}, completion)``.
+        """
+        if not keys:
+            raise ValueError("get_range_at requires at least one key")
+        anchor = keys[0]
+        fault = self._consult_schedule("get", anchor, now, node)
+        start = self._get_bucket(self._prefix(anchor)).request(
+            now, 1.0 / fault.throttle_factor
+        )
+        served_at = start + (
+            self._jittered(self.profile.get_latency) * fault.latency_multiplier
+        )
+        self.metrics.counter("get_requests").increment()
+        self.metrics.counter("ranged_get_requests").increment()
+        self.metrics.counter("ranged_get_keys").increment(len(keys))
+        self._record_requests(gets=1)
+        kind = self._scheduled_failure(fault)
+        if kind is None and self._transient_failure():
+            kind = "transient"
+        if kind is not None:
+            self._trace_request("get_range", anchor, now, served_at,
+                                fault=kind, gets=1)
+            error = TransientRequestError(anchor, kind=kind)
+            error.failed_at = served_at  # type: ignore[attr-defined]
+            raise error
+        results: "Dict[str, Optional[bytes]]" = {}
+        total = 0
+        for key in keys:
+            versioned = self._objects.get(key)
+            data = (versioned.visible_data(served_at)
+                    if versioned is not None else None)
+            if data is None:
+                self.metrics.counter("get_misses").increment()
+                results[key] = None
+                continue
+            if versioned.is_stale_read(served_at):
+                self.metrics.counter("stale_reads").increment()
+            results[key] = data
+            total += len(data)
+        completion = served_at
+        if total:
+            __, downloaded = (bandwidth or self._bandwidth).request(
+                served_at, float(total)
+            )
+            self.metrics.counter("get_bytes").increment(total)
+            self.metrics.series("net_bytes").record(downloaded, total)
+            completion = downloaded
+        self._trace_request("get_range", anchor, now, completion,
+                            nbytes=total, gets=1)
+        return results, completion
 
     def delete_at(self, key: str, now: float,
                   node: "Optional[str]" = None) -> float:

@@ -380,6 +380,17 @@ class Tracer:
                                 lines)
 
 
+def overlap_seconds(a: Span, b: Span) -> float:
+    """Virtual seconds during which both spans were in flight.
+
+    Open spans (no end yet) contribute nothing.  Used by pipeline tests
+    to assert that batch N's decode genuinely overlaps batch N+1's I/O.
+    """
+    if a.end is None or b.end is None:
+        return 0.0
+    return max(0.0, min(a.end, b.end) - max(a.start, b.start))
+
+
 def load_chrome_trace(path: str) -> "Dict[str, object]":
     """Parse a Chrome-trace JSON and aggregate it per (layer, op).
 

@@ -17,6 +17,7 @@ A *dbspace* is SAP IQ's unit of physical storage.  This module provides:
 
 from __future__ import annotations
 
+import heapq
 from abc import ABC, abstractmethod
 from typing import Dict, Iterable, List, Optional, Protocol, Sequence, Tuple
 
@@ -61,8 +62,22 @@ class ObjectIO(ABC):
         ...
 
     @abstractmethod
-    def get_many(self, names: "Sequence[str]") -> "Dict[str, bytes]":
+    def get_many(self, names: "Sequence[str]",
+                 scan_hint: bool = False) -> "Dict[str, bytes]":
+        """Windowed-parallel read.  ``scan_hint`` marks bulk-scan traffic
+        so a scan-resistant cache policy can apply its admission rule;
+        cacheless implementations ignore it."""
         ...
+
+    def get_many_at(self, names: "Sequence[str]", now: float,
+                    scan_hint: bool = False,
+                    ) -> "Tuple[Dict[str, bytes], float]":
+        """Timed ``get_many`` for pipelined prefetch: charge the I/O path
+        from ``now`` and return ``(results, completion)`` without
+        advancing the shared clock."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support pipelined reads"
+        )
 
     @abstractmethod
     def put_many(self, items: "Sequence[Tuple[str, bytes]]",
@@ -104,8 +119,14 @@ class DirectObjectIO(ObjectIO):
     def get(self, name: str) -> bytes:
         return self.client.get(name)
 
-    def get_many(self, names: "Sequence[str]") -> "Dict[str, bytes]":
+    def get_many(self, names: "Sequence[str]",
+                 scan_hint: bool = False) -> "Dict[str, bytes]":
         return self.client.get_many(names)
+
+    def get_many_at(self, names: "Sequence[str]", now: float,
+                    scan_hint: bool = False,
+                    ) -> "Tuple[Dict[str, bytes], float]":
+        return self.client.get_many_at(names, now)
 
     def put_many(self, items: "Sequence[Tuple[str, bytes]]",
                  txn_id: "Optional[int]" = None,
@@ -166,8 +187,22 @@ class PageStore(ABC):
         """Read one page image."""
 
     @abstractmethod
-    def read_pages(self, locators: "Sequence[int]") -> "Dict[int, bytes]":
-        """Windowed-parallel read of several page images (prefetching)."""
+    def read_pages(self, locators: "Sequence[int]",
+                   scan_hint: bool = False) -> "Dict[int, bytes]":
+        """Windowed-parallel read of several page images (prefetching).
+
+        ``scan_hint`` marks bulk-scan traffic for scan-resistant cache
+        policies down the I/O path; block dbspaces ignore it."""
+
+    def read_pages_at(self, locators: "Sequence[int]", now: float,
+                      scan_hint: bool = False,
+                      ) -> "Tuple[Dict[int, bytes], float]":
+        """Timed ``read_pages`` for pipelined prefetch: charge the I/O
+        path from ``now``; return ``(pages, completion)`` without
+        advancing the shared clock."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support pipelined reads"
+        )
 
     @abstractmethod
     def write_pages(
@@ -245,10 +280,28 @@ class BlockDbspace(PageStore):
         start, __ = block_range(locator)
         return self.device.read(start)
 
-    def read_pages(self, locators: "Sequence[int]") -> "Dict[int, bytes]":
+    def read_pages(self, locators: "Sequence[int]",
+                   scan_hint: bool = False) -> "Dict[int, bytes]":
         starts = {block_range(loc)[0]: loc for loc in locators}
         raw = self.device.read_many(list(starts))
         return {starts[start]: data for start, data in raw.items()}
+
+    def read_pages_at(self, locators: "Sequence[int]", now: float,
+                      scan_hint: bool = False,
+                      ) -> "Tuple[Dict[int, bytes], float]":
+        starts = {block_range(loc)[0]: loc for loc in locators}
+        inflight: "List[float]" = []
+        results: "Dict[int, bytes]" = {}
+        last = now
+        for start in starts:
+            begin = now
+            if len(inflight) >= 32:
+                begin = max(now, heapq.heappop(inflight))
+            data, done = self.device.read_at(start, begin)
+            results[starts[start]] = data
+            heapq.heappush(inflight, done)
+            last = max(last, done)
+        return results, last
 
     def write_pages(
         self,
@@ -338,10 +391,22 @@ class CloudDbspace(PageStore):
     def read_page(self, locator: int) -> bytes:
         return self._open(self.io.get(self.object_name(locator)))
 
-    def read_pages(self, locators: "Sequence[int]") -> "Dict[int, bytes]":
+    def read_pages(self, locators: "Sequence[int]",
+                   scan_hint: bool = False) -> "Dict[int, bytes]":
         names = {self.object_name(loc): loc for loc in locators}
-        raw = self.io.get_many(list(names))
+        raw = self.io.get_many(list(names), scan_hint=scan_hint)
         return {names[name]: self._open(data) for name, data in raw.items()}
+
+    def read_pages_at(self, locators: "Sequence[int]", now: float,
+                      scan_hint: bool = False,
+                      ) -> "Tuple[Dict[int, bytes], float]":
+        names = {self.object_name(loc): loc for loc in locators}
+        raw, done = self.io.get_many_at(list(names), now,
+                                        scan_hint=scan_hint)
+        return (
+            {names[name]: self._open(data) for name, data in raw.items()},
+            done,
+        )
 
     def write_pages(
         self,

@@ -1,0 +1,262 @@
+"""Unit tests for the pluggable OCM eviction policies (DESIGN.md §9)."""
+
+import pytest
+
+from repro.core.cache_policy import (
+    Arc2QPolicy,
+    LruPolicy,
+    make_policy,
+)
+
+from tests.unit.test_ocm import make_ocm
+
+
+# --------------------------------------------------------------------- #
+# factory
+# --------------------------------------------------------------------- #
+
+def test_factory_builds_known_policies():
+    assert isinstance(make_policy("lru", 1024), LruPolicy)
+    assert isinstance(make_policy("arc2q", 1024), Arc2QPolicy)
+
+
+def test_factory_rejects_unknown_policy():
+    with pytest.raises(ValueError, match="unknown OCM eviction policy"):
+        make_policy("clock-pro", 1024)
+
+
+# --------------------------------------------------------------------- #
+# LRU policy: exact OrderedDict semantics
+# --------------------------------------------------------------------- #
+
+def test_lru_eviction_order_is_insertion_order():
+    policy = LruPolicy()
+    for key in ("a", "b", "c"):
+        policy.on_insert(key, 10)
+    assert list(policy.eviction_order()) == ["a", "b", "c"]
+
+
+def test_lru_access_moves_to_mru():
+    policy = LruPolicy()
+    for key in ("a", "b", "c"):
+        policy.on_insert(key, 10)
+    policy.on_access("a")
+    assert list(policy.eviction_order()) == ["b", "c", "a"]
+
+
+def test_lru_reinsert_moves_to_mru():
+    policy = LruPolicy()
+    for key in ("a", "b", "c"):
+        policy.on_insert(key, 10)
+    policy.on_insert("a", 10)
+    assert list(policy.eviction_order()) == ["b", "c", "a"]
+
+
+def test_lru_ignores_scan_hints():
+    hinted = LruPolicy()
+    plain = LruPolicy()
+    for policy, hint in ((hinted, True), (plain, False)):
+        for key in ("a", "b", "c"):
+            policy.on_insert(key, 10, scan_hint=hint)
+        policy.on_access("a", scan_hint=hint)
+    assert list(hinted.eviction_order()) == list(plain.eviction_order())
+
+
+def test_lru_stats_empty_for_snapshot_compatibility():
+    """LRU reports no policy counters: stats snapshots match the seed."""
+    policy = LruPolicy()
+    policy.on_insert("a", 10)
+    assert policy.stats() == {}
+
+
+# --------------------------------------------------------------------- #
+# ARC/2Q policy: segments, ghosts, scan admission
+# --------------------------------------------------------------------- #
+
+def test_arc2q_insert_lands_in_probation():
+    policy = Arc2QPolicy(10_000)
+    policy.on_insert("a", 100)
+    assert policy.probation_keys() == ["a"]
+    assert policy.protected_keys() == []
+
+
+def test_arc2q_reaccess_promotes_to_protected():
+    policy = Arc2QPolicy(10_000)
+    policy.on_insert("a", 100)
+    policy.on_access("a")
+    assert policy.probation_keys() == []
+    assert policy.protected_keys() == ["a"]
+    assert policy.stats()["promotions"] == 1.0
+
+
+def test_arc2q_scan_access_never_promotes():
+    policy = Arc2QPolicy(10_000)
+    policy.on_insert("a", 100, scan_hint=True)
+    policy.on_access("a", scan_hint=True)
+    assert policy.probation_keys() == ["a"]
+    assert policy.protected_keys() == []
+    assert policy.stats()["promotions"] == 0.0
+    assert policy.stats()["scan_admissions"] == 1.0
+
+
+def test_arc2q_eviction_order_drains_probation_first():
+    policy = Arc2QPolicy(10_000)
+    policy.on_insert("hot", 100)
+    policy.on_access("hot")  # protected
+    policy.on_insert("cold1", 100)
+    policy.on_insert("cold2", 100)
+    order = list(policy.eviction_order())
+    assert order.index("cold1") < order.index("hot")
+    assert order.index("cold2") < order.index("hot")
+
+
+def test_arc2q_ghost_records_probationary_evictions():
+    policy = Arc2QPolicy(10_000)
+    policy.on_insert("a", 100)
+    policy.on_remove("a", evicted=True)
+    assert policy.ghost_keys() == ["a"]
+    # Non-eviction removals (rollback, invalidation) leave no ghost.
+    policy.on_insert("b", 100)
+    policy.on_remove("b", evicted=False)
+    assert policy.ghost_keys() == ["a"]
+
+
+def test_arc2q_ghost_hit_readmits_to_protected():
+    policy = Arc2QPolicy(10_000)
+    policy.on_insert("a", 100)
+    policy.on_remove("a", evicted=True)
+    policy.on_insert("a", 100)  # was recently evicted: it deserved caching
+    assert policy.protected_keys() == ["a"]
+    assert policy.stats()["ghost_hits"] == 1.0
+
+
+def test_arc2q_scan_refetch_of_ghosted_key_stays_probationary():
+    """A repeated bulk scan larger than the cache must not cycle through
+    the protected segment via ghost readmissions."""
+    policy = Arc2QPolicy(10_000)
+    policy.on_insert("a", 100, scan_hint=True)
+    policy.on_remove("a", evicted=True)
+    policy.on_insert("a", 100, scan_hint=True)  # the next scan pass
+    assert policy.probation_keys() == ["a"]
+    assert policy.protected_keys() == []
+    assert policy.stats()["ghost_hits"] == 0.0
+    # The ghost entry is consumed either way; a later non-scan fetch
+    # starts the two-touch promotion path from scratch.
+    assert policy.ghost_keys() == []
+
+
+def test_arc2q_ghost_is_bounded_by_capacity():
+    policy = Arc2QPolicy(1_000)
+    for i in range(50):
+        key = f"k{i}"
+        policy.on_insert(key, 100)
+        policy.on_remove(key, evicted=True)
+    remembered = policy.ghost_keys()
+    # At 100 bytes each and a 1000-byte budget, only the 10 most recent
+    # evictions are remembered.
+    assert len(remembered) == 10
+    assert remembered[-1] == "k49"
+    assert "k0" not in remembered
+
+
+def test_arc2q_protected_overflow_demotes_to_probation():
+    policy = Arc2QPolicy(1_000, protected_fraction=0.5)
+    for key in ("a", "b"):
+        policy.on_insert(key, 300)
+        policy.on_access(key)
+    # 600 bytes protected > 500-byte target: the LRU protected entry is
+    # demoted back to probation (MRU side).
+    assert policy.protected_keys() == ["b"]
+    assert policy.probation_keys() == ["a"]
+    assert policy.stats()["demotions"] == 1.0
+
+
+def test_arc2q_accounts_bytes_not_entries():
+    policy = Arc2QPolicy(10_000, protected_fraction=0.8)
+    policy.on_insert("big", 7_000)
+    policy.on_access("big")
+    policy.on_insert("small", 100)
+    policy.on_access("small")
+    # 7100 protected bytes < 8000 target: no demotion despite 2 entries.
+    assert set(policy.protected_keys()) == {"big", "small"}
+
+
+# --------------------------------------------------------------------- #
+# OCM-level behaviour
+# --------------------------------------------------------------------- #
+
+def _warm_hot_set(ocm, store, count, size):
+    for i in range(count):
+        store.put(f"hot/{i}", b"h" * size)
+    for i in range(count):
+        ocm.get(f"hot/{i}")
+        ocm.get(f"hot/{i}")  # second touch promotes under arc2q
+
+
+def _run_scan(ocm, store, count, size):
+    for i in range(count):
+        store.put(f"scan/{i}", b"s" * size)
+    for i in range(count):
+        ocm.get(f"scan/{i}", scan_hint=True)
+
+
+def test_scan_resistance_invariant_arc2q():
+    """A full table scan leaves the hot working set resident."""
+    ocm, store, __ = make_ocm(capacity=10_000, policy="arc2q")
+    _warm_hot_set(ocm, store, count=4, size=1_000)
+    _run_scan(ocm, store, count=30, size=1_000)
+    for i in range(4):
+        assert ocm.cached(f"hot/{i}"), f"scan evicted hot/{i}"
+    assert ocm.stats()["policy_scan_admissions"] >= 30
+
+
+def test_lru_is_not_scan_resistant():
+    """Contrast: the paper's LRU lets one scan flush the hot set."""
+    ocm, store, __ = make_ocm(capacity=10_000, policy="lru")
+    _warm_hot_set(ocm, store, count=4, size=1_000)
+    _run_scan(ocm, store, count=30, size=1_000)
+    assert not any(ocm.cached(f"hot/{i}") for i in range(4))
+
+
+def test_insert_after_upload_rule_holds_under_arc2q():
+    """Pending write-back entries stay ineligible regardless of policy."""
+    ocm, __, __ = make_ocm(capacity=4096, policy="arc2q")
+    ocm.put("a/1", b"x" * 3000, txn_id=1, commit_mode=False)
+    ocm.client.put("b/2", b"y" * 3000)
+    ocm.get("b/2")
+    assert ocm.cached("a/1")
+    assert not ocm.cached("b/2")
+    ocm.flush_for_commit(1)
+    ocm.client.put("c/3", b"z" * 3000)
+    ocm.get("c/3")
+    assert not ocm.cached("a/1")
+    assert ocm.cached("c/3")
+
+
+def test_ocm_stats_expose_policy_counters():
+    ocm, store, __ = make_ocm(capacity=10_000, policy="arc2q")
+    store.put("a/1", b"x" * 100)
+    ocm.get("a/1")
+    ocm.get("a/1")
+    stats = ocm.stats()
+    assert stats["policy_promotions"] == 1.0
+    assert "policy_ghost_hits" in stats
+
+
+def test_lru_ocm_stats_unchanged():
+    """Default policy adds no stats keys: seed snapshots stay identical."""
+    ocm, store, __ = make_ocm(capacity=10_000)
+    store.put("a/1", b"x" * 100)
+    ocm.get("a/1")
+    assert not any(key.startswith("policy_") for key in ocm.stats())
+
+
+def test_invalidate_all_clears_policy_state():
+    ocm, store, __ = make_ocm(capacity=10_000, policy="arc2q")
+    store.put("a/1", b"x" * 100)
+    ocm.get("a/1")
+    ocm.get("a/1")
+    ocm.invalidate_all()
+    stats = ocm.stats()
+    assert stats["policy_probation_entries"] == 0.0
+    assert stats["policy_protected_entries"] == 0.0
