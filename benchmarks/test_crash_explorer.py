@@ -1,0 +1,50 @@
+"""Exhaustive crash-exploration sweep (CI crash-smoke job).
+
+Every registered crash point is armed once against the seeded churn
+workload; each episode must recover with zero invariant violations:
+no committed data lost, nothing MISSING, and every leak drained by
+restart GC + retention reaping.  Random seeded schedules then vary the
+arm-skip counts to hit later traversals of the same points.
+
+Marked ``crash`` and kept out of tier-1 (``testpaths`` excludes
+``benchmarks/``): the sweep is cheap (~seconds) but belongs with the
+other workload-scale suites.
+"""
+
+import pytest
+
+from repro.bench.crash_explorer import (
+    explore_all_points,
+    explore_random,
+    registered_points,
+    run_churn_episode,
+)
+
+pytestmark = pytest.mark.crash
+
+
+def test_every_registered_point_recovers_cleanly():
+    results = explore_all_points(seed=0)
+    assert len(results) == len(registered_points())
+    failures = [
+        (result.crash_point, result.violations)
+        for result in results if not result.ok
+    ]
+    assert failures == []
+    never_fired = [r.crash_point for r in results if r.fired == 0]
+    assert never_fired == [], f"episodes never traversed: {never_fired}"
+
+
+def test_random_schedules_recover_cleanly():
+    results = explore_random(count=25, seed=1)
+    failures = [
+        (result.crash_point, result.seed, result.violations)
+        for result in results if not result.ok
+    ]
+    assert failures == []
+
+
+def test_broken_gc_detected_under_crash():
+    result = run_churn_episode("txn.gc.after_log", seed=0, broken_gc=True)
+    assert result.ok, result.violations
+    assert result.report is not None and result.report.leaked

@@ -1,0 +1,541 @@
+"""Seeded crash exploration: kill the engine at every registered point.
+
+Each *episode* builds a small engine, runs a fixed churn workload (multi-
+page commits, a buffer-overflowing wide transaction, DDL, a rollback, a
+snapshot, a mid-episode crash/restart), arms exactly one crash point, and
+lets the workload run into it.  Whenever the point fires, the raised
+:class:`~repro.sim.crashpoints.SimulatedCrash` is translated into ordinary
+crash semantics and the engine is restarted — repeatedly if the point
+fires again during recovery.  After a final drain (restart GC, chain
+collection, retention expiry, reap) the episode asserts the paper's
+correctness claims:
+
+1. **No committed data lost** — every page image the workload knows to be
+   committed reads back byte-identical through cold caches.  Commits the
+   crash interrupted are resolved by probing: the page matches either the
+   pre-commit or the post-commit image, never a third thing.
+2. **No MISSING objects** — the :class:`~repro.core.audit.StoreAuditor`
+   finds every catalog- or snapshot-referenced object on the store.
+3. **LEAKED drains to zero** — after restart GC and retention reap,
+   nothing on the store is uncovered by metadata.
+
+A deliberately broken GC (:func:`install_broken_gc`) inverts the third
+assertion: the auditor *must* flag leaks, proving fsck actually detects
+the failure mode it exists for.
+
+Episodes are deterministic: same point + same seed -> same outcome.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.audit import AuditError, AuditReport, StoreAuditor
+from repro.core.multiplex import Multiplex, MultiplexConfig
+from repro.engine import Database, DatabaseConfig
+from repro.sim.crashpoints import CRASH_POINTS, SimulatedCrash
+from repro.sim.rng import DeterministicRng
+
+PAGE_SIZE = 4096
+PAYLOAD_BYTES = 1024
+# Buffer frames hold the written payload bytes; 16 payloads' worth of
+# capacity means the wide transaction below overflows it mid-transaction.
+BUFFER_FRAMES = 16
+PAGES = 3
+# Enough dirty pages in one transaction to overflow the buffer, forcing
+# write-back eviction (and therefore an OCM upload queue to crash into).
+WIDE_PAGES = 2 * BUFFER_FRAMES
+RETENTION_SECONDS = 30.0
+MAX_RECOVERY_ATTEMPTS = 8
+
+
+@dataclass
+class EpisodeResult:
+    """Outcome of one crash-and-recover episode."""
+
+    crash_point: "Optional[str]"
+    seed: int
+    mode: str = "churn"
+    fired: int = 0
+    crashes: int = 0
+    violations: "List[str]" = field(default_factory=list)
+    report: "Optional[AuditReport]" = None
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def to_dict(self) -> "Dict[str, object]":
+        return {
+            "crash_point": self.crash_point,
+            "seed": self.seed,
+            "mode": self.mode,
+            "fired": self.fired,
+            "crashes": self.crashes,
+            "ok": self.ok,
+            "violations": list(self.violations),
+            "audit": self.report.to_dict() if self.report else None,
+        }
+
+
+def base_config(seed: int) -> DatabaseConfig:
+    """A deliberately tiny engine: small pages, a buffer that thrashes."""
+    return DatabaseConfig(
+        seed=seed,
+        page_size=PAGE_SIZE,
+        buffer_capacity_bytes=BUFFER_FRAMES * PAYLOAD_BYTES,
+        ocm_capacity_bytes=4 * 1024 * 1024,
+        # Small system volume: recovery decodes its freelist bitmap on
+        # every restart, and episodes restart many times.
+        system_volume_size_bytes=32 * 1024 * 1024,
+        retention_seconds=RETENTION_SECONDS,
+    )
+
+
+def build_engine(seed: int) -> Database:
+    return Database(base_config(seed))
+
+
+def install_broken_gc(db: Database) -> None:
+    """Sabotage GC: superseded pages are neither freed nor retained.
+
+    The regression fixture for the auditor — a database run under this
+    must end with LEAKED objects that ``repro fsck`` flags.  Re-install
+    after every restart: recovery builds a fresh transaction manager.
+    """
+    db.txn_manager._apply_rf = lambda entry: 0  # type: ignore[method-assign]
+
+
+def _payload(obj: str, page: int, gen: int, seed: int) -> bytes:
+    header = f"{obj}:{page}:{gen}:{seed}:".encode()
+    body = bytes(
+        (page * 131 + gen * 17 + seed * 3 + i * 7) % 251
+        for i in range(PAYLOAD_BYTES - len(header))
+    )
+    return header + body
+
+
+def registered_points() -> "List[str]":
+    """Every registered crash point (forces all instrumented imports)."""
+    import repro.core.multiplex  # noqa: F401  (imports the whole engine)
+
+    return CRASH_POINTS.names()
+
+
+# ---------------------------------------------------------------------- #
+# the churn episode (single node)
+# ---------------------------------------------------------------------- #
+
+def run_churn_episode(
+    crash_point_name: "Optional[str]" = None,
+    seed: int = 0,
+    broken_gc: bool = False,
+    arm_skip: int = 0,
+) -> EpisodeResult:
+    """One seeded churn workload crashed (maybe repeatedly) at one point."""
+    CRASH_POINTS.disarm_all()
+    result = EpisodeResult(crash_point=crash_point_name, seed=seed,
+                           mode="churn")
+    db = build_engine(seed)
+    if broken_gc:
+        install_broken_gc(db)
+    expected: "Dict[Tuple[str, int], bytes]" = {}
+
+    def recover() -> None:
+        for __ in range(MAX_RECOVERY_ATTEMPTS):
+            if not db.crashed:
+                break
+            try:
+                db.restart()
+            except SimulatedCrash as exc:
+                result.crashes += 1
+                db.crash_from(exc)
+        else:
+            result.violations.append("recovery did not converge")
+        if broken_gc:
+            install_broken_gc(db)
+
+    def guarded(fn: "Callable[[], object]") -> bool:
+        """Run one workload step; on a simulated crash, recover. True if
+        the step ran to completion."""
+        try:
+            fn()
+            return True
+        except SimulatedCrash as exc:
+            result.crashes += 1
+            db.crash_from(exc)
+            recover()
+            return False
+
+    def probe(obj: str, page: int) -> "Optional[bytes]":
+        txn = db.begin()
+        try:
+            data: "Optional[bytes]" = db.read_page(txn, obj, page)
+        except SimulatedCrash:
+            raise
+        except Exception:
+            data = None
+        try:
+            db.rollback(txn)
+        except SimulatedCrash:
+            raise
+        except Exception:
+            pass
+        return data
+
+    def commit_generation(obj: str, gen: int, pages: int = PAGES,
+                          double_write: bool = False) -> None:
+        staged = {p: _payload(obj, p, gen, seed) for p in range(pages)}
+
+        def work() -> None:
+            txn = db.begin()
+            if double_write:
+                # Same-transaction supersede: local garbage, reclaimed
+                # without telling the coordinator (Section 3.3).
+                db.write_page(txn, obj, 0, _payload(obj, 0, gen, seed + 1))
+            for p, data in staged.items():
+                db.write_page(txn, obj, p, data)
+            db.commit(txn)
+
+        if guarded(work):
+            for p, data in staged.items():
+                expected[(obj, p)] = data
+            return
+        # The crash interrupted the commit: resolve whether it landed by
+        # probing page 0 against both possible images.
+        got = probe(obj, 0)
+        if got == staged[0]:
+            for p, data in staged.items():
+                if p != 0 and probe(obj, p) != data:
+                    result.violations.append(
+                        f"torn commit: {obj!r} gen {gen} page {p} does not "
+                        "match the committed image"
+                    )
+            for p, data in staged.items():
+                expected[(obj, p)] = data
+        elif got == expected.get((obj, 0)):
+            pass  # the commit never landed; the old generation survives
+        else:
+            result.violations.append(
+                f"atomicity: {obj!r} gen {gen} page 0 matches neither the "
+                "pre-commit nor the post-commit image"
+            )
+
+    point = None
+    fired_before = 0
+    try:
+        # --- pre-arm baseline: generation 0 is always fully committed --- #
+        db.create_object("t0")
+        db.create_object("t1")
+        commit_generation("t0", 0)
+        commit_generation("t1", 0)
+
+        if crash_point_name is not None:
+            point = CRASH_POINTS.point(crash_point_name)
+            fired_before = point.fired
+            CRASH_POINTS.arm(crash_point_name, skip=arm_skip)
+
+        # --- churn ------------------------------------------------------ #
+        commit_generation("t0", 1, double_write=True)
+        commit_generation("t1", 1)
+        guarded(lambda: db.create_object("extra"))
+        # One wide transaction overflows the buffer: dirty eviction queues
+        # OCM write-backs, which commit must upload (flush_for_commit).
+        commit_generation("t0", 2, pages=WIDE_PAGES)
+        guarded(db.create_snapshot)
+        # Supersede again so the retention FIFO has entries to reap.
+        commit_generation("t0", 3)
+
+        def rollback_generation() -> None:
+            txn = db.begin()
+            for p in range(PAGES):
+                db.write_page(txn, "t1", p, _payload("t1", p, 99, seed))
+            db.rollback(txn)
+
+        guarded(rollback_generation)
+
+        # Forced mid-episode crash: exercises replay, checkpoint, restart
+        # GC and orphan polling while the armed point is still live.
+        if not db.crashed:
+            db.crash()
+        recover()
+        commit_generation("t1", 4)
+
+        # --- drain: everything transient must go to zero ---------------- #
+        for __ in range(4):
+            try:
+                if not db.crashed:
+                    db.crash()
+                recover()
+                db.txn_manager.collect_garbage()
+                if db.snapshot_manager is not None:
+                    db.clock.advance(RETENTION_SECONDS + 1.0)
+                    db.snapshot_manager.reap()
+                db.txn_manager.collect_garbage()
+                break
+            except SimulatedCrash as exc:
+                result.crashes += 1
+                db.crash_from(exc)
+        else:
+            result.violations.append("drain did not converge")
+    finally:
+        CRASH_POINTS.disarm_all()
+        if point is not None:
+            result.fired = point.fired - fired_before
+
+    if db.crashed:
+        recover()
+
+    # --- invariant 1: committed data survives cold --------------------- #
+    db.node.invalidate_caches()
+    if db.ocm is not None:
+        db.ocm.invalidate_all()
+    for (obj, page), data in sorted(expected.items()):
+        if probe(obj, page) != data:
+            result.violations.append(
+                f"data loss: committed page {obj!r}/{page} unreadable or "
+                "altered after recovery"
+            )
+
+    # --- invariants 2 and 3: the auditor's verdict ---------------------- #
+    try:
+        report = StoreAuditor(db).audit()
+    except AuditError as exc:
+        result.violations.append(f"audit failed: {exc}")
+        return result
+    result.report = report
+    if report.missing or report.snapshot_missing:
+        result.violations.append(
+            f"MISSING objects after recovery: {len(report.missing)} live, "
+            f"{len(report.snapshot_missing)} snapshot-only"
+        )
+    if broken_gc:
+        if not report.leaked:
+            result.violations.append(
+                "the auditor failed to flag the broken GC's leaked objects"
+            )
+    elif report.leaked:
+        result.violations.append(
+            f"LEAKED objects did not drain to zero: {len(report.leaked)}"
+        )
+    return result
+
+
+# ---------------------------------------------------------------------- #
+# the multiplex episode (secondary restart GC)
+# ---------------------------------------------------------------------- #
+
+def run_multiplex_episode(
+    crash_point_name: "Optional[str]" = None,
+    seed: int = 0,
+    arm_skip: int = 0,
+) -> EpisodeResult:
+    """Crash the coordinator mid restart-GC of a dead writer node."""
+    CRASH_POINTS.disarm_all()
+    result = EpisodeResult(crash_point=crash_point_name, seed=seed,
+                           mode="multiplex")
+    mux = Multiplex(base_config(seed), MultiplexConfig(
+        writers=1,
+        secondary_buffer_bytes=BUFFER_FRAMES * PAYLOAD_BYTES,
+        secondary_ocm_bytes=4 * 1024 * 1024,
+    ))
+    coordinator = mux.coordinator
+    writer = mux.node("writer-1")
+    expected: "Dict[Tuple[str, int], bytes]" = {}
+
+    coordinator.create_object("t0")
+    txn = writer.begin()
+    for p in range(PAGES):
+        data = _payload("t0", p, 0, seed)
+        writer.write_page(txn, "t0", p, data)
+        expected[("t0", p)] = data
+    writer.commit(txn)
+
+    point = None
+    fired_before = 0
+    try:
+        if crash_point_name is not None:
+            point = CRASH_POINTS.point(crash_point_name)
+            fired_before = point.fired
+            CRASH_POINTS.arm(crash_point_name, skip=arm_skip)
+        # Orphan uploads: objects on the shared store whose keys only the
+        # writer's active set covers.
+        for i in range(3):
+            writer.user_dbspace.write_page(
+                _payload("orphan", i, 1, seed), commit_mode=True
+            )
+        writer.crash()
+        for __ in range(MAX_RECOVERY_ATTEMPTS):
+            try:
+                writer.restart()
+                break
+            except SimulatedCrash as exc:
+                result.crashes += 1
+                writer.crash_from(exc)
+        else:
+            result.violations.append("writer restart did not converge")
+    finally:
+        CRASH_POINTS.disarm_all()
+        if point is not None:
+            result.fired = point.fired - fired_before
+
+    coordinator.txn_manager.collect_garbage()
+
+    txn = coordinator.begin()
+    for (obj, p), data in sorted(expected.items()):
+        if coordinator.read_page(txn, obj, p) != data:
+            result.violations.append(
+                f"data loss: committed page {obj!r}/{p} altered after the "
+                "writer's crash"
+            )
+    coordinator.rollback(txn)
+
+    report = StoreAuditor(coordinator).audit()
+    result.report = report
+    if report.missing or report.snapshot_missing:
+        result.violations.append("MISSING objects after writer restart")
+    if report.leaked:
+        result.violations.append(
+            f"writer restart GC leaked {len(report.leaked)} orphans"
+        )
+    return result
+
+
+# ---------------------------------------------------------------------- #
+# the restore episode (point-in-time rewind)
+# ---------------------------------------------------------------------- #
+
+def run_restore_episode(
+    crash_point_name: "Optional[str]" = None,
+    seed: int = 0,
+    arm_skip: int = 0,
+) -> EpisodeResult:
+    """Crash during a snapshot restore; either side of the crash must be
+    a consistent database (rewound or not — never half of each)."""
+    CRASH_POINTS.disarm_all()
+    result = EpisodeResult(crash_point=crash_point_name, seed=seed,
+                           mode="restore")
+    db = build_engine(seed)
+
+    def commit_generation(gen: int) -> "Dict[Tuple[str, int], bytes]":
+        staged = {("t0", p): _payload("t0", p, gen, seed)
+                  for p in range(PAGES)}
+        txn = db.begin()
+        for (__, p), data in staged.items():
+            db.write_page(txn, "t0", p, data)
+        db.commit(txn)
+        return staged
+
+    db.create_object("t0")
+    gen0 = commit_generation(0)
+    snapshot = db.create_snapshot()
+    gen1 = commit_generation(1)
+
+    point = None
+    fired_before = 0
+    completed = False
+    try:
+        if crash_point_name is not None:
+            point = CRASH_POINTS.point(crash_point_name)
+            fired_before = point.fired
+            CRASH_POINTS.arm(crash_point_name, skip=arm_skip)
+        try:
+            db.restore_snapshot(snapshot.snapshot_id)
+            completed = True
+        except SimulatedCrash as exc:
+            result.crashes += 1
+            db.crash_from(exc)
+            for __ in range(MAX_RECOVERY_ATTEMPTS):
+                if not db.crashed:
+                    break
+                try:
+                    db.restart()
+                except SimulatedCrash as inner:
+                    result.crashes += 1
+                    db.crash_from(inner)
+            else:
+                result.violations.append("recovery did not converge")
+    finally:
+        CRASH_POINTS.disarm_all()
+        if point is not None:
+            result.fired = point.fired - fired_before
+
+    expected = gen0 if completed else gen1
+
+    db.node.invalidate_caches()
+    if db.ocm is not None:
+        db.ocm.invalidate_all()
+    txn = db.begin()
+    for (obj, p), data in sorted(expected.items()):
+        try:
+            got: "Optional[bytes]" = db.read_page(txn, obj, p)
+        except Exception:
+            got = None
+        if got != data:
+            side = "rewound" if completed else "pre-restore"
+            result.violations.append(
+                f"data loss: {side} page {obj!r}/{p} unreadable or altered"
+            )
+    db.rollback(txn)
+
+    # Drain: expire the snapshot, reap retention, collect the chain.
+    db.txn_manager.collect_garbage()
+    if db.snapshot_manager is not None:
+        db.clock.advance(RETENTION_SECONDS + 1.0)
+        db.snapshot_manager.reap()
+    db.txn_manager.collect_garbage()
+
+    report = StoreAuditor(db).audit()
+    result.report = report
+    if report.missing or report.snapshot_missing:
+        result.violations.append("MISSING objects after restore episode")
+    if report.leaked:
+        result.violations.append(
+            f"restore episode leaked {len(report.leaked)} objects"
+        )
+    return result
+
+
+# ---------------------------------------------------------------------- #
+# exploration drivers
+# ---------------------------------------------------------------------- #
+
+def run_episode(
+    crash_point_name: "Optional[str]",
+    seed: int = 0,
+    broken_gc: bool = False,
+    arm_skip: int = 0,
+) -> EpisodeResult:
+    """Route a crash point to the episode that can actually traverse it."""
+    if crash_point_name is not None:
+        if crash_point_name.startswith("multiplex."):
+            return run_multiplex_episode(crash_point_name, seed=seed,
+                                         arm_skip=arm_skip)
+        if crash_point_name.startswith("engine.restore."):
+            return run_restore_episode(crash_point_name, seed=seed,
+                                       arm_skip=arm_skip)
+    return run_churn_episode(crash_point_name, seed=seed,
+                             broken_gc=broken_gc, arm_skip=arm_skip)
+
+
+def explore_all_points(seed: int = 0,
+                       broken_gc: bool = False) -> "List[EpisodeResult]":
+    """One episode per registered crash point, in sorted name order."""
+    return [
+        run_episode(name, seed=seed, broken_gc=broken_gc)
+        for name in registered_points()
+    ]
+
+
+def explore_random(count: int = 10, seed: int = 0) -> "List[EpisodeResult]":
+    """Seeded random schedules: random point, random arming delay."""
+    points = registered_points()
+    rng = DeterministicRng(seed, "crash-explorer")
+    results = []
+    for i in range(count):
+        sub = rng.substream(f"episode/{i}")
+        name = sub.choice(points)
+        skip = sub.randint(0, 2)
+        results.append(run_episode(name, seed=seed + i, arm_skip=skip))
+    return results

@@ -362,6 +362,92 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_fsck(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.bench.crash_explorer import run_churn_episode
+
+    result = run_churn_episode(
+        args.crash_point or None,
+        seed=args.seed,
+        broken_gc=args.broken_gc,
+    )
+    report = result.report
+    if report is None:
+        print("fsck: the audit could not run", file=sys.stderr)
+        for violation in result.violations:
+            print(f"  {violation}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        rows = [
+            ["objects scanned", report.objects_scanned],
+            ["live", report.live],
+            ["snapshot retained", report.snapshot_retained],
+            ["pending GC", report.pending_gc],
+            ["active-set covered", report.active_covered],
+            ["LEAKED", len(report.leaked)],
+            ["MISSING", len(report.missing)],
+            ["snapshot MISSING", len(report.snapshot_missing)],
+            ["already freed (benign)", report.already_freed],
+            ["unparseable names", len(report.unparseable)],
+        ]
+        label = args.crash_point or "none"
+        print(f"fsck after churn (seed {args.seed}, crash point {label}, "
+              f"broken GC {'on' if args.broken_gc else 'off'})")
+        print(format_table(["classification", "count"], rows))
+        for name, key in report.leaked[:10]:
+            print(f"  LEAKED  {name} {key:#x}")
+        for name, key in report.missing[:10]:
+            print(f"  MISSING {name} {key:#x}")
+    if not report.ok():
+        print("fsck: store is NOT clean")
+        return 1
+    print("fsck: store is clean")
+    return 0
+
+
+def cmd_crashtest(args: argparse.Namespace) -> int:
+    from repro.bench.crash_explorer import (
+        explore_all_points,
+        explore_random,
+        run_episode,
+    )
+
+    if args.point:
+        results = [run_episode(args.point, seed=args.seed,
+                               broken_gc=args.broken_gc)]
+    elif args.random:
+        results = explore_random(count=args.random, seed=args.seed)
+    else:
+        results = explore_all_points(seed=args.seed,
+                                     broken_gc=args.broken_gc)
+    rows = []
+    violations = 0
+    for result in results:
+        rows.append([
+            result.crash_point or "(none)",
+            result.mode,
+            result.fired,
+            result.crashes,
+            "ok" if result.ok else "; ".join(result.violations),
+        ])
+        violations += len(result.violations)
+    print(format_table(
+        ["crash point", "episode", "fired", "crashes", "verdict"], rows
+    ))
+    fired = sum(result.fired for result in results)
+    print(f"{len(results)} episodes, {fired} injected crashes, "
+          f"{violations} invariant violations")
+    if violations:
+        print("CRASH EXPLORATION FAILED: recovery invariants violated")
+        return 1
+    print("all episodes recovered with no data loss, no missing objects, "
+          "and no leaks")
+    return 0
+
+
 def cmd_table1(args: argparse.Namespace) -> int:
     import pathlib
     benchmarks = pathlib.Path(__file__).resolve().parents[2] / "benchmarks"
@@ -432,6 +518,33 @@ def build_parser() -> argparse.ArgumentParser:
     )
     report.add_argument("--input", default="trace.json",
                         help="trace JSON produced by `repro trace`")
+
+    fsck = sub.add_parser(
+        "fsck",
+        help="audit the object store against engine metadata (cloud fsck)",
+    )
+    fsck.add_argument("--seed", type=int, default=0)
+    fsck.add_argument("--crash-point", default="",
+                      help="arm this crash point during the churn workload")
+    fsck.add_argument("--broken-gc", action="store_true",
+                      help="sabotage GC to demonstrate leak detection")
+    fsck.add_argument("--json", action="store_true",
+                      help="print the machine-readable audit report")
+
+    crashtest = sub.add_parser(
+        "crashtest",
+        help="systematically crash at registered points and verify recovery",
+    )
+    crashtest.add_argument("--all-points", action="store_true",
+                           help="one episode per registered point (default)")
+    crashtest.add_argument("--point", default="",
+                           help="run a single named crash point")
+    crashtest.add_argument("--random", type=int, default=0, metavar="N",
+                           help="N seeded random point/schedule episodes")
+    crashtest.add_argument("--seed", type=int, default=0)
+    crashtest.add_argument("--broken-gc", action="store_true",
+                           help="run with sabotaged GC (episodes must "
+                                "detect the leaks)")
     return parser
 
 
@@ -445,6 +558,8 @@ def main(argv: "Optional[List[str]]" = None) -> int:
         "chaos": cmd_chaos,
         "trace": cmd_trace,
         "report": cmd_report,
+        "fsck": cmd_fsck,
+        "crashtest": cmd_crashtest,
     }
     return handlers[args.command](args)
 

@@ -1,0 +1,290 @@
+"""The store auditor: a "cloud fsck" for the simulated object store.
+
+The engine's metadata claims to account for every object in the bucket:
+
+- the **catalog** (every committed version's blockmap walk) covers live
+  data pages and blockmap pages;
+- registered **snapshots** cover pages only their captured catalogs still
+  reference;
+- the **retention FIFO** covers superseded pages awaiting deletion;
+- the **commit chain** (RF/RB bitmaps of not-yet-collected commits) covers
+  pages whose deletion or tracking is still pending;
+- the **keygen active sets** cover keys handed to nodes whose transactions
+  have not committed — including crashed nodes' orphans awaiting restart
+  GC.
+
+:class:`StoreAuditor` walks all five against the bucket's ground truth and
+classifies every object.  Anything present but uncovered is **LEAKED**
+(storage paid for forever, the failure mode Stocator-style naming protocols
+must prevent); anything covered by the catalog or a snapshot but absent is
+**MISSING** (data loss).  A healthy engine — crashed mid-protocol at any
+registered crash point, recovered, drained — must show neither.
+
+The audit never advances the virtual clock: it reads the simulated store's
+ground truth directly (``latest_data``), not through the timed, visibility-
+filtered client path, because fsck verifies what *is*, not what a reader
+would currently observe under eventual consistency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
+
+from repro.storage.blockmap import Blockmap
+from repro.storage.dbspace import CloudDbspace
+from repro.storage.keys import object_key_from_name
+from repro.storage.locator import NULL_LOCATOR, is_object_key
+from repro.storage.identity import Catalog
+
+if TYPE_CHECKING:
+    from repro.engine import Database
+
+
+class AuditError(Exception):
+    """Auditor misuse (no cloud dbspaces, unknown database state)."""
+
+
+class _MissingPageError(Exception):
+    """A metadata walk touched a locator absent from the store."""
+
+    def __init__(self, locator: int) -> None:
+        super().__init__(f"page {locator:#x} is not on the store")
+        self.locator = locator
+
+
+class _PeekPageStore:
+    """Un-timed, visibility-blind page reads for metadata walks.
+
+    Quacks like a :class:`~repro.storage.dbspace.PageStore` for
+    :class:`~repro.storage.blockmap.Blockmap`, which only needs
+    ``read_page``.  Reads go straight to the simulated store's latest
+    versions so the audit neither advances the clock nor trips over
+    eventual-consistency lag.
+    """
+
+    def __init__(self, dbspace: CloudDbspace, store) -> None:
+        self._dbspace = dbspace
+        self._store = store
+
+    def read_page(self, locator: int) -> bytes:
+        raw = self._store.latest_data(self._dbspace.object_name(locator))
+        if raw is None:
+            raise _MissingPageError(locator)
+        return self._dbspace._open(raw)
+
+
+@dataclass
+class AuditReport:
+    """Machine-readable outcome of one store audit."""
+
+    objects_scanned: int = 0
+    live: int = 0
+    snapshot_retained: int = 0
+    pending_gc: int = 0
+    active_covered: int = 0
+    # (dbspace, key) pairs — present on the store, covered by nothing.
+    leaked: "List[Tuple[str, int]]" = field(default_factory=list)
+    # (dbspace, key) pairs — referenced by the current catalog, absent.
+    missing: "List[Tuple[str, int]]" = field(default_factory=list)
+    # (dbspace, key) pairs — referenced only by a snapshot, absent.
+    snapshot_missing: "List[Tuple[str, int]]" = field(default_factory=list)
+    # FIFO/chain entries whose objects are already gone (benign: the
+    # free-then-pop windows make re-deletion idempotent, not harmful).
+    already_freed: int = 0
+    # Bucket names that do not parse as page objects (foreign objects).
+    unparseable: "List[str]" = field(default_factory=list)
+
+    def ok(self) -> bool:
+        """No leaks, no data loss."""
+        return not (self.leaked or self.missing or self.snapshot_missing)
+
+    def to_dict(self) -> "Dict[str, object]":
+        return {
+            "ok": self.ok(),
+            "objects_scanned": self.objects_scanned,
+            "live": self.live,
+            "snapshot_retained": self.snapshot_retained,
+            "pending_gc": self.pending_gc,
+            "active_covered": self.active_covered,
+            "leaked": [[name, key] for name, key in self.leaked],
+            "missing": [[name, key] for name, key in self.missing],
+            "snapshot_missing": [
+                [name, key] for name, key in self.snapshot_missing
+            ],
+            "already_freed": self.already_freed,
+            "unparseable": list(self.unparseable),
+        }
+
+
+class StoreAuditor:
+    """Walks engine metadata against the object store's ground truth."""
+
+    def __init__(self, db: "Database") -> None:
+        self.db = db
+
+    # ------------------------------------------------------------------ #
+    # reference-set construction
+    # ------------------------------------------------------------------ #
+
+    def _walk_catalog(
+        self,
+        catalog: Catalog,
+        dbspaces: "Dict[str, CloudDbspace]",
+        refs: "Dict[str, Set[int]]",
+        unreadable: "List[Tuple[str, int]]",
+    ) -> None:
+        """Add every cloud locator reachable from ``catalog`` to ``refs``.
+
+        A walk that dies on a missing interior page records that page in
+        ``unreadable`` and moves on — the audit must survive the very
+        corruption it is looking for.
+        """
+        for identity in catalog.all_identities():
+            dbspace = dbspaces.get(identity.dbspace)
+            if dbspace is None or identity.root_locator == NULL_LOCATOR:
+                continue
+            store = dbspace.io.client.store
+            peek = _PeekPageStore(dbspace, store)
+            target = refs.setdefault(identity.dbspace, set())
+            try:
+                blockmap = Blockmap(
+                    peek,
+                    root_locator=identity.root_locator,
+                    height=identity.height,
+                )
+                for locator in blockmap.live_locators():
+                    if is_object_key(locator):
+                        target.add(locator)
+            except _MissingPageError as error:
+                # Both the unreadable page and the root belong to the
+                # reference set; the classification pass reports whichever
+                # of them the store does not hold as MISSING.
+                target.add(identity.root_locator)
+                if is_object_key(error.locator):
+                    target.add(error.locator)
+                unreadable.append((identity.dbspace, error.locator))
+
+    def _snapshot_catalogs(self) -> "List[Catalog]":
+        manager = self.db.snapshot_manager
+        if manager is None:
+            return []
+        return [
+            Catalog.from_bytes(snapshot.catalog_bytes)
+            for snapshot in manager.snapshots()
+        ]
+
+    def _chain_refs(self) -> "Dict[str, Set[int]]":
+        refs: "Dict[str, Set[int]]" = {}
+        for entry in self.db.txn_manager.chain_entries():
+            for bitmaps in (entry.rf, entry.rb):
+                for dbspace_name, bitmap in bitmaps.items():
+                    refs.setdefault(dbspace_name, set()).update(
+                        bitmap.cloud_keys()
+                    )
+        return refs
+
+    def _retained_refs(self) -> "Dict[str, Set[int]]":
+        manager = self.db.snapshot_manager
+        if manager is None:
+            return {}
+        return {
+            dbspace_name: set(locators)
+            for dbspace_name, locators in manager.retained_locators().items()
+        }
+
+    def _active_intervals(self) -> "List[Tuple[int, int]]":
+        merged: "List[Tuple[int, int]]" = []
+        for active in self.db.keygen.active_sets().values():
+            merged.extend(active.intervals())
+        return sorted(merged)
+
+    @staticmethod
+    def _covered(key: int, intervals: "List[Tuple[int, int]]") -> bool:
+        for lo, hi in intervals:
+            if lo <= key <= hi:
+                return True
+            if lo > key:
+                return False
+        return False
+
+    # ------------------------------------------------------------------ #
+    # the audit
+    # ------------------------------------------------------------------ #
+
+    def audit(self) -> AuditReport:
+        """Classify every object in every cloud bucket; update metrics."""
+        db = self.db
+        dbspaces = db.cloud_dbspaces()
+        if not dbspaces:
+            raise AuditError("no cloud dbspaces to audit")
+        with db.tracer.span("fsck", "audit"):
+            report = self._audit(dbspaces)
+        db.metrics.counter("fsck_runs").increment()
+        db.metrics.gauge("fsck_leaked").set(len(report.leaked))
+        db.metrics.gauge("fsck_missing").set(
+            len(report.missing) + len(report.snapshot_missing)
+        )
+        return report
+
+    def _audit(self, dbspaces: "Dict[str, CloudDbspace]") -> AuditReport:
+        report = AuditReport()
+        unreadable: "List[Tuple[str, int]]" = []
+
+        live: "Dict[str, Set[int]]" = {}
+        self._walk_catalog(self.db.catalog, dbspaces, live, unreadable)
+        snap: "Dict[str, Set[int]]" = {}
+        for catalog in self._snapshot_catalogs():
+            self._walk_catalog(catalog, dbspaces, snap, unreadable)
+        retained = self._retained_refs()
+        chain = self._chain_refs()
+        intervals = self._active_intervals()
+
+        # Dbspaces can share one bucket (multiplex nodes all mount "user"):
+        # group by store identity and audit each store once, against the
+        # union of its dbspaces' reference sets.
+        by_store: "Dict[int, Tuple[object, List[str]]]" = {}
+        for name, dbspace in dbspaces.items():
+            store = dbspace.io.client.store
+            by_store.setdefault(id(store), (store, []))[1].append(name)
+
+        def union(refs: "Dict[str, Set[int]]",
+                  names: "List[str]") -> "Set[int]":
+            merged: "Set[int]" = set()
+            for name in names:
+                merged.update(refs.get(name, ()))
+            return merged
+
+        for store, names in by_store.values():
+            label = "+".join(sorted(set(names)))
+            live_keys = union(live, names)
+            snap_keys = union(snap, names)
+            retained_keys = union(retained, names)
+            chain_keys = union(chain, names)
+            present: "Set[int]" = set()
+            for object_name in store.all_keys():  # type: ignore[attr-defined]
+                try:
+                    key = object_key_from_name(object_name)
+                except ValueError:
+                    report.unparseable.append(object_name)
+                    continue
+                present.add(key)
+                report.objects_scanned += 1
+                if key in live_keys:
+                    report.live += 1
+                elif key in snap_keys or key in retained_keys:
+                    report.snapshot_retained += 1
+                elif key in chain_keys:
+                    report.pending_gc += 1
+                elif self._covered(key, intervals):
+                    report.active_covered += 1
+                else:
+                    report.leaked.append((label, key))
+            for key in sorted(live_keys - present):
+                report.missing.append((label, key))
+            for key in sorted(snap_keys - live_keys - present):
+                report.snapshot_missing.append((label, key))
+            report.already_freed += len(
+                (retained_keys | chain_keys) - present - live_keys - snap_keys
+            )
+        return report

@@ -20,7 +20,19 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 from repro.core.log import ALLOC_RANGE, TransactionLog
+from repro.sim.crashpoints import crash_point, register_crash_point
 from repro.storage.locator import OBJECT_KEY_BASE
+
+CP_ALLOCATE_BEFORE_LOG = register_crash_point(
+    "keygen.allocate.before_log",
+    "active set updated in memory, ALLOC_RANGE not yet logged "
+    "(the Table 1 window: no key has reached the caller yet)",
+)
+CP_ALLOCATE_AFTER_LOG = register_crash_point(
+    "keygen.allocate.after_log",
+    "ALLOC_RANGE logged but the range never returned to the caller "
+    "(restart GC must poll the orphaned range)",
+)
 
 
 class KeygenError(Exception):
@@ -138,6 +150,7 @@ class ObjectKeyGenerator:
             raise KeygenError("object key space exhausted")
         self._next_key = hi + 1
         self._active_sets.setdefault(node_id, ActiveSet()).add(lo, hi)
+        crash_point(CP_ALLOCATE_BEFORE_LOG)
         # Bookkeeping events of Section 3.2: the largest allocated key is
         # recorded in the transaction log and the handed-out range persists
         # with it; the allocation transaction commits with this append.
@@ -145,6 +158,7 @@ class ObjectKeyGenerator:
             ALLOC_RANGE,
             {"node": node_id, "lo": lo, "hi": hi},
         )
+        crash_point(CP_ALLOCATE_AFTER_LOG)
         return KeyRange(lo, hi)
 
     def notify_committed(self, node_id: str,

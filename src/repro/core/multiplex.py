@@ -33,12 +33,26 @@ from repro.blockstore.profiles import nvme_ssd
 from repro.objectstore.client import RetryingObjectClient
 from repro.objectstore.faults import FaultSchedule, OutageWindow
 from repro.sim.cpu import CpuModel
+from repro.sim.crashpoints import (
+    SimulatedCrash,
+    crash_point,
+    register_crash_point,
+)
 from repro.sim.devices import raid0, scaled_profile
 from repro.sim.metrics import MetricsRegistry
 from repro.sim.pipes import Pipe
 from repro.storage.dbspace import CloudDbspace, DirectObjectIO
 
 GBIT = 1_000_000_000 / 8
+
+CP_RESTART_GC_BEFORE_POLL = register_crash_point(
+    "multiplex.restart_gc.before_poll",
+    "restart-GC RPC reached the coordinator, no key polled yet",
+)
+CP_RESTART_GC_MID_POLL = register_crash_point(
+    "multiplex.restart_gc.mid_poll",
+    "coordinator crashed between polling two of a node's orphaned keys",
+)
 
 
 class MultiplexError(Exception):
@@ -107,6 +121,7 @@ class SecondaryNode:
             coordinator.config.cpu_ops_per_second * rate_scale,
         )
         self.crashed = False
+        self.last_crash_point: "Optional[str]" = None
 
         # Node-local key cache; refills RPC into the coordinator.
         self.key_cache = NodeKeyCache(
@@ -232,6 +247,8 @@ class SecondaryNode:
 
     def crash(self) -> None:
         """The node dies: active transactions abort without cleanup."""
+        if self.crashed:
+            raise MultiplexError(f"node {self.node_id!r} is already crashed")
         manager = self.multiplex.coordinator.txn_manager
         for txn in manager.active_transactions():
             if txn.node_id == self.node_id:
@@ -241,6 +258,12 @@ class SecondaryNode:
             self.ocm.invalidate_all()
         self.key_cache.drop_cached_range()
         self.crashed = True
+
+    def crash_from(self, exc: SimulatedCrash) -> None:
+        """Translate a fired crash point into ordinary crash semantics."""
+        self.last_crash_point = exc.point
+        if not self.crashed:
+            self.crash()
 
     def restart(self) -> int:
         """Restart the node: coordinator GCs its outstanding allocations.
@@ -314,15 +337,34 @@ class Multiplex:
         transactions or unconsumed allocations); missing ones are no-ops —
         including keys already reclaimed by local rollbacks, which the
         coordinator was deliberately never told about.
+
+        The active set is cleared only after the last poll completes.  It
+        exists only in coordinator memory (reconstructed from the log on
+        coordinator recovery, not on secondary restart), so clearing it
+        up front would permanently leak whatever keys remained un-polled
+        if the coordinator died mid-loop.  Re-polling already-deleted
+        keys after such a crash is an idempotent no-op.
         """
-        active = self.coordinator.keygen.clear_active_set(node_id)
-        user = self.coordinator.user_dbspace
+        coordinator = self.coordinator
+        active = coordinator.keygen.active_set(node_id)
+        user = coordinator.user_dbspace
         reclaimed = 0
-        if isinstance(user, CloudDbspace):
-            for lo, hi in active:
-                for key in range(lo, hi + 1):
-                    if user.poll_and_free(key):
-                        reclaimed += 1
+        polled = 0
+        if active.key_count() and isinstance(user, CloudDbspace):
+            # Fence: the dead node's in-flight puts must settle before the
+            # blind deletes below, or last-writer-wins resurrects orphans.
+            coordinator._fence_in_flight_writes([user])
+        crash_point(CP_RESTART_GC_BEFORE_POLL)
+        with coordinator.tracer.span("restart_gc", "recovery", node=node_id):
+            if isinstance(user, CloudDbspace):
+                for lo, hi in active.intervals():
+                    for key in range(lo, hi + 1):
+                        crash_point(CP_RESTART_GC_MID_POLL)
+                        polled += 1
+                        if user.poll_and_free(key):
+                            reclaimed += 1
+            coordinator.keygen.clear_active_set(node_id)
+        coordinator.metrics.counter("restart_gc_polled_keys").increment(polled)
         return reclaimed
 
     def inject_store_outage(self, node_id: str, window) -> OutageWindow:

@@ -36,11 +36,26 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.core.cache_policy import make_policy
 from repro.objectstore.client import RetryingObjectClient
 from repro.objectstore.errors import CircuitOpenError, DegradedCacheMissError
+from repro.sim.crashpoints import crash_point, register_crash_point
 from repro.sim.devices import DeviceProfile, QueueingDevice
 from repro.sim.metrics import MetricsRegistry
 from repro.sim.rng import DeterministicRng
 from repro.sim.tracing import NULL_TRACER
 from repro.storage.dbspace import ObjectIO
+
+CP_WRITE_THROUGH_BEFORE_PUT = register_crash_point(
+    "ocm.write_through.before_put",
+    "commit-mode write reached the OCM but the upload never started",
+)
+CP_WRITE_THROUGH_AFTER_PUT = register_crash_point(
+    "ocm.write_through.after_put",
+    "commit-mode upload landed on the store, local fill/LRU state lost",
+)
+CP_FLUSH_BEFORE_UPLOAD = register_crash_point(
+    "ocm.flush.before_upload",
+    "FlushForCommit drained some queued write-backs, crashed mid-queue "
+    "(remaining pages exist only on the dead node's SSD)",
+)
 
 
 @dataclass(frozen=True)
@@ -505,9 +520,11 @@ class ObjectCacheManager(ObjectIO):
         write-through-at-commit invariant holds through an outage (the
         retry policy, not the breaker, decides when to give up).
         """
+        crash_point(CP_WRITE_THROUGH_BEFORE_PUT)
         done = self.client.put_at(name, data, self.clock.now(),
                                   bypass_breaker=True)
         self.clock.advance_to(done)
+        crash_point(CP_WRITE_THROUGH_AFTER_PUT)
         fill_start = self.clock.now()
         fill_done = self.device.write(len(data), fill_start)
         self.tracer.record("fill", "ssd", fill_start, fill_done,
@@ -587,6 +604,7 @@ class ObjectCacheManager(ObjectIO):
                               txn_id=txn_id, jobs=len(jobs)):
             last = self.clock.now()
             for job in jobs:
+                crash_point(CP_FLUSH_BEFORE_UPLOAD)
                 done = self._schedule_upload(job)
                 last = max(last, done)
                 entry = self._entries.get(job.name)

@@ -24,7 +24,26 @@ from dataclasses import dataclass, field
 from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from repro.sim.clock import VirtualClock
+from repro.sim.crashpoints import crash_point, register_crash_point
 from repro.storage.dbspace import PageStore
+
+CP_RETAIN_MID = register_crash_point(
+    "snapshot.retain.mid",
+    "GC transferred some, but not all, superseded pages into the FIFO",
+)
+CP_REAP_BEFORE_FREE = register_crash_point(
+    "snapshot.reap.before_free",
+    "expired FIFO entries selected, deletes not yet issued",
+)
+CP_REAP_AFTER_FREE = register_crash_point(
+    "snapshot.reap.after_free",
+    "expired pages deleted from the bucket, FIFO entries not yet popped "
+    "(re-delete on the next reap is idempotent)",
+)
+CP_CREATE_BEFORE_REGISTER = register_crash_point(
+    "snapshot.create.before_register",
+    "snapshot metadata captured but the snapshot never registered",
+)
 
 
 class SnapshotError(Exception):
@@ -81,6 +100,7 @@ class SnapshotManager:
         """Take ownership of superseded pages; delete after retention."""
         expiry = self.clock.now() + self.retention_seconds
         for locator in locators:
+            crash_point(CP_RETAIN_MID)
             self._fifo.append((dbspace_name, locator, expiry))
         self.stats["retained"] += len(locators)
 
@@ -95,18 +115,34 @@ class SnapshotManager:
         return out
 
     def reap(self) -> int:
-        """Background deletion of pages whose retention expired."""
+        """Background deletion of pages whose retention expired.
+
+        The FIFO is durable metadata, so the deletes are issued *before*
+        the entries are popped: a crash in between leaves already-deleted
+        entries in the FIFO and the next reap re-deletes them, which is
+        idempotent on an object store.  Popping first would leak the pages
+        forever if the node died before the deletes went out.
+        """
         now = self.clock.now()
+        expired = 0
         by_dbspace: Dict[str, List[int]] = {}
-        while self._fifo and self._fifo[0][2] <= now:
-            dbspace_name, locator, __ = self._fifo.popleft()
+        for dbspace_name, locator, expiry in self._fifo:
+            if expiry > now:
+                break
+            expired += 1
             by_dbspace.setdefault(dbspace_name, []).append(locator)
+        if expired:
+            crash_point(CP_REAP_BEFORE_FREE)
         reaped = 0
         for dbspace_name, locators in by_dbspace.items():
             store = self._dbspaces.get(dbspace_name)
             if store is not None:
                 store.free_pages(locators)
             reaped += len(locators)
+        if expired:
+            crash_point(CP_REAP_AFTER_FREE)
+        for __ in range(expired):
+            self._fifo.popleft()
         self.stats["reaped"] += reaped
         self._expire_snapshots(now)
         return reaped
@@ -146,6 +182,7 @@ class SnapshotManager:
                 else max_allocated_key
             ),
         )
+        crash_point(CP_CREATE_BEFORE_REGISTER)
         self._next_snapshot_id += 1
         self._snapshots[snapshot.snapshot_id] = snapshot
         self.stats["snapshots"] += 1
@@ -162,13 +199,23 @@ class SnapshotManager:
     def snapshots(self) -> "List[Snapshot]":
         return sorted(self._snapshots.values(), key=lambda s: s.snapshot_id)
 
-    def restore_metadata(self, payload: bytes) -> None:
-        """Re-install FIFO state captured by :meth:`metadata_bytes`."""
+    @staticmethod
+    def decode_metadata(payload: bytes) -> "List[Tuple[str, int, float]]":
+        """Decode a :meth:`metadata_bytes` payload without installing it.
+
+        Restore uses this to learn which locators the snapshot's FIFO still
+        covers *before* committing to the FIFO switch — the switch is a
+        durable-metadata write and must come after the destructive polls.
+        """
         data = json.loads(payload.decode("utf-8"))
-        self._fifo = deque(
+        return [
             (str(name), int(locator), float(expiry))
             for name, locator, expiry in data["fifo"]
-        )
+        ]
+
+    def restore_metadata(self, payload: bytes) -> None:
+        """Re-install FIFO state captured by :meth:`metadata_bytes`."""
+        self._fifo = deque(self.decode_metadata(payload))
 
     def metadata_bytes(self) -> bytes:
         """Serialize the FIFO (stored on the object store, like user data)."""

@@ -40,10 +40,62 @@ from repro.core.log import (
     TXN_ROLLBACK,
     TransactionLog,
 )
+from repro.sim.crashpoints import crash_point, register_crash_point
 from repro.storage.blockmap import Blockmap
 from repro.storage.dbspace import PageStore
 from repro.storage.identity import Catalog, IdentityObject
 from repro.storage.locator import is_object_key
+
+CP_COMMIT_BEFORE_FLUSH = register_crash_point(
+    "txn.commit.before_flush",
+    "commit requested, nothing durable yet (clean pre-commit crash)",
+)
+CP_COMMIT_AFTER_FLUSH_FOR_COMMIT = register_crash_point(
+    "txn.commit.after_flush_for_commit",
+    "queued write-backs drained to the store, dirty pages not yet flushed",
+)
+CP_COMMIT_AFTER_PAGE_FLUSH = register_crash_point(
+    "txn.commit.after_page_flush",
+    "all data pages uploaded, no identity published, no commit logged",
+)
+CP_COMMIT_BEFORE_PUBLISH = register_crash_point(
+    "txn.commit.before_publish",
+    "blockmap flushed for one handle, its identity not yet published",
+)
+CP_COMMIT_AFTER_PUBLISH = register_crash_point(
+    "txn.commit.after_publish",
+    "identities published in memory, commit record not yet logged "
+    "(the commit must vanish on recovery)",
+)
+CP_COMMIT_BEFORE_LOG = register_crash_point(
+    "txn.commit.before_log",
+    "chain entry built and sequenced, TXN_COMMIT not yet appended",
+)
+CP_COMMIT_AFTER_LOG = register_crash_point(
+    "txn.commit.after_log",
+    "TXN_COMMIT logged, frame promotion/keygen notification lost "
+    "(the commit must survive recovery)",
+)
+CP_ROLLBACK_BEFORE_FREE = register_crash_point(
+    "txn.rollback.before_free",
+    "rollback decided, allocated objects not yet deleted",
+)
+CP_ROLLBACK_AFTER_FREE = register_crash_point(
+    "txn.rollback.after_free",
+    "rolled-back allocations deleted, TXN_ROLLBACK not yet logged",
+)
+CP_GC_BEFORE_APPLY_RF = register_crash_point(
+    "txn.gc.before_apply_rf",
+    "chain entry popped, RF pages neither freed nor retained yet",
+)
+CP_GC_AFTER_APPLY_RF = register_crash_point(
+    "txn.gc.after_apply_rf",
+    "RF pages freed/retained, GC_COLLECT not yet logged",
+)
+CP_GC_AFTER_LOG = register_crash_point(
+    "txn.gc.after_log",
+    "GC_COLLECT logged for the entry, loop may have more entries",
+)
 
 
 class TransactionError(Exception):
@@ -371,13 +423,16 @@ class TransactionManager:
         """Flush, version, log and enter the commit chain."""
         self._check_active(txn)
         node = txn.node
+        crash_point(CP_COMMIT_BEFORE_FLUSH)
         # 1. FlushForCommit: promote this transaction's queued write-back
         #    uploads and switch its writes to write-through (Section 4).
         for dbspace_name in txn.touched_dbspaces():
             node.dbspace(dbspace_name).flush_for_commit(txn.txn_id)
+        crash_point(CP_COMMIT_AFTER_FLUSH_FOR_COMMIT)
         # 2. Flush remaining dirty pages write-through; durability before
         #    commit because the log carries metadata only.
         node.buffer.flush_txn(txn.txn_id, commit_mode=True)
+        crash_point(CP_COMMIT_AFTER_PAGE_FLUSH)
         # 3. Cascade blockmap versioning and publish new identities.
         new_versions: Dict[int, int] = {}
         superseded: List[Tuple[int, int]] = []
@@ -387,6 +442,7 @@ class TransactionManager:
             new_root = handle.blockmap.flush(
                 sink, txn_id=txn.txn_id, commit_mode=True
             )
+            crash_point(CP_COMMIT_BEFORE_PUBLISH)
             if handle.rewritten_from is not None:
                 # Re-homed object: every page of the superseded version on
                 # the old dbspace becomes RF garbage.
@@ -413,6 +469,7 @@ class TransactionManager:
                 # Identity objects live in the system dbspace and are
                 # updated in place (strong consistency): one small write.
                 self._identity_write_cost()
+        crash_point(CP_COMMIT_AFTER_PUBLISH)
         # 4. Reclaim local garbage (same-transaction page rewrites).
         self._reclaim_local_garbage(txn)
         # 5. Sequence the commit, log it, enter the commit chain.
@@ -427,6 +484,7 @@ class TransactionManager:
         )
         self._chain.append(entry)
         consumed = self._consumed_key_ranges(txn)
+        crash_point(CP_COMMIT_BEFORE_LOG)
         self.log.append(
             TXN_COMMIT,
             {
@@ -437,6 +495,7 @@ class TransactionManager:
                 "consumed_key_ranges": consumed,
             },
         )
+        crash_point(CP_COMMIT_AFTER_LOG)
         # 6. Tell the key generator which keys are now tracked by RF/RB.
         if self.keygen is not None and consumed:
             self.keygen.notify_committed(txn.node_id, consumed)
@@ -482,6 +541,7 @@ class TransactionManager:
         """Undo everything the transaction allocated, immediately."""
         self._check_active(txn)
         node = txn.node
+        crash_point(CP_ROLLBACK_BEFORE_FREE)
         node.buffer.drop_txn_frames(txn.txn_id)
         for dbspace_name in txn.touched_dbspaces():
             store = self._store_for(txn, dbspace_name)
@@ -498,6 +558,7 @@ class TransactionManager:
         # Deliberately NOT notifying the key generator: the active set keeps
         # the rolled-back keys, and a future node-restart GC will re-poll
         # them — cheaper than an RPC per rollback (Section 3.3, Table 1).
+        crash_point(CP_ROLLBACK_AFTER_FREE)
         self.log.append(
             TXN_ROLLBACK, {"txn_id": txn.txn_id, "node": txn.node_id}
         )
@@ -544,12 +605,18 @@ class TransactionManager:
         horizon = self._min_active_begin_seq()
         while self._chain and self._chain[0].commit_seq <= horizon:
             entry = self._chain.popleft()
+            # A crash anywhere in this body is safe: GC_COLLECT is logged
+            # last, so recovery re-enters the entry into the chain and the
+            # re-run frees/retains idempotently.
+            crash_point(CP_GC_BEFORE_APPLY_RF)
             freed += self._apply_rf(entry)
+            crash_point(CP_GC_AFTER_APPLY_RF)
             for object_id, old_version in entry.superseded:
                 if self.catalog.has_version(object_id, old_version):
                     self.catalog.drop_version(object_id, old_version)
             self.log.append(GC_COLLECT, {"commit_seq": entry.commit_seq})
             self.stats["gc_entries_collected"] += 1
+            crash_point(CP_GC_AFTER_LOG)
         return freed
 
     def _apply_rf(self, entry: CommitChainEntry) -> int:
@@ -572,6 +639,10 @@ class TransactionManager:
     # ------------------------------------------------------------------ #
     # checkpointing
     # ------------------------------------------------------------------ #
+
+    def chain_entries(self) -> "List[CommitChainEntry]":
+        """The commit chain, oldest first (auditor's pending-GC set)."""
+        return list(self._chain)
 
     def chain_state(self) -> "List[Dict[str, object]]":
         return [entry.to_payload() for entry in self._chain]

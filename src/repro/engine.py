@@ -41,7 +41,13 @@ from repro.objectstore.faults import FaultSchedule
 from repro.objectstore.s3sim import ObjectStoreProfile, S3_PROFILE, SimulatedObjectStore
 from repro.sim.clock import VirtualClock
 from repro.sim.cpu import CpuModel
+from repro.sim.crashpoints import (
+    SimulatedCrash,
+    crash_point,
+    register_crash_point,
+)
 from repro.sim.devices import raid0, scaled_profile
+from repro.sim.metrics import MetricsRegistry
 from repro.sim.pipes import Pipe
 from repro.sim.rng import DeterministicRng
 from repro.sim.tracing import NULL_TRACER, Tracer
@@ -63,6 +69,36 @@ GBIT = 1_000_000_000 / 8
 
 SYSTEM_DBSPACE = "system"
 USER_DBSPACE = "user"
+
+CP_CREATE_OBJECT_BEFORE_LOG = register_crash_point(
+    "engine.create_object.before_log",
+    "object registered in the in-memory catalog, DDL not yet logged",
+)
+CP_CHECKPOINT_BEFORE_WRITE = register_crash_point(
+    "engine.checkpoint.before_write",
+    "checkpoint encoded but never written (recovery replays further back)",
+)
+CP_SNAPSHOT_BEFORE_LOG = register_crash_point(
+    "engine.snapshot.before_log",
+    "snapshot registered with the snapshot manager, not yet logged",
+)
+CP_SNAPSHOT_AFTER_LOG = register_crash_point(
+    "engine.snapshot.after_log",
+    "SNAPSHOT_CREATED logged, metadata backup charge lost",
+)
+CP_RESTART_BEFORE_GC = register_crash_point(
+    "engine.restart.before_gc",
+    "log replayed and state reinstalled, restart GC has not run "
+    "(the active set must survive for the next attempt)",
+)
+CP_RESTART_GC_MID_POLL = register_crash_point(
+    "engine.restart_gc.mid_poll",
+    "restart GC crashed between polling two orphaned keys",
+)
+CP_RESTORE_BEFORE_POLL = register_crash_point(
+    "engine.restore.before_poll",
+    "snapshot catalog reinstalled, post-snapshot keys not yet polled",
+)
 
 
 class EngineError(Exception):
@@ -273,6 +309,10 @@ class Database:
         effective_gbits = min(cfg.nic_gbits, cfg.s3_effective_gbits)
         self.nic = Pipe(effective_gbits * GBIT * cfg.rate_scale, name="nic")
         self.crashed = False
+        self.metrics = MetricsRegistry()
+        # Name of the crash point whose firing killed this node last
+        # (set by crash_from; None for clean crashes).
+        self.last_crash_point: "Optional[str]" = None
         self.tracer = (
             Tracer(self.clock, meter=self.meter)
             if cfg.tracing_enabled
@@ -534,6 +574,7 @@ class Database:
         if dbspace not in self.node.dbspaces():
             raise EngineError(f"unknown dbspace {dbspace!r}")
         object_id = self.catalog.register_object(name, dbspace)
+        crash_point(CP_CREATE_OBJECT_BEFORE_LOG)
         self.log.append(
             OBJECT_CREATED,
             {"name": name, "dbspace": dbspace, "object_id": object_id},
@@ -607,6 +648,7 @@ class Database:
             self.txn_manager.chain_state(),
             self.txn_manager.commit_seq,
         )
+        crash_point(CP_CHECKPOINT_BEFORE_WRITE)
         self.log.checkpoint(state)
 
     def crash(self) -> None:
@@ -616,6 +658,8 @@ class Database:
         secondary nodes' transactions survive a coordinator crash and are
         re-adopted after recovery (Table 1, clocks 110-130).
         """
+        if self.crashed:
+            raise EngineError("the database is already crashed")
         for txn in self.txn_manager.active_transactions():
             if txn.node_id == self.config.node_id:
                 self.txn_manager.abort_in_crash(txn)
@@ -625,11 +669,28 @@ class Database:
         self.key_cache.drop_cached_range()
         self.crashed = True
 
+    def crash_from(self, exc: SimulatedCrash) -> None:
+        """Translate a fired crash point into ordinary crash semantics.
+
+        Idempotent over an already-crashed node: a point that fires during
+        recovery (restart GC, checkpoint) leaves the node crashed again
+        only if it had already been marked healthy.
+        """
+        self.last_crash_point = exc.point
+        if not self.crashed:
+            self.crash()
+
     def restart(self) -> None:
         """Crash recovery: checkpoint + log replay + restart GC."""
         if not self.crashed:
             raise EngineError("restart() is only valid after crash()")
+        span = self.tracer.begin("replay", "recovery")
         recovered = recover(self.log)
+        self.tracer.finish(
+            span,
+            replayed_commits=recovered.replayed_commits,
+            replayed_allocations=recovered.replayed_allocations,
+        )
         self.catalog = recovered.catalog
         self.keygen = recovered.keygen
         if SYSTEM_DBSPACE in recovered.freelists:
@@ -656,6 +717,7 @@ class Database:
             [entry.to_payload() for entry in recovered.chain_entries]
         )
         self.crashed = False
+        crash_point(CP_RESTART_BEFORE_GC)
         self._restart_gc()
         self.checkpoint()
 
@@ -663,17 +725,48 @@ class Database:
         """Poll and reclaim this node's outstanding key allocations.
 
         The key space is global across cloud dbspaces, so every cloud
-        bucket is polled for each outstanding key.
+        bucket is polled for each outstanding key.  The active set is
+        cleared only *after* every key was polled: clearing first would
+        lose the remaining keys forever if the node died mid-poll, since
+        the cleared set exists only in coordinator memory (polls are
+        idempotent, so re-polling after another crash is safe).
         """
-        active = self.keygen.clear_active_set(self.config.node_id)
+        active = self.keygen.active_set(self.config.node_id)
         stores = list(self.cloud_dbspaces().values())
         reclaimed = 0
-        for lo, hi in active:
-            for key in range(lo, hi + 1):
-                for store in stores:
-                    if store.poll_and_free(key):
-                        reclaimed += 1
+        polled = 0
+        if active.key_count():
+            self._fence_in_flight_writes(stores)
+        with self.tracer.span("restart_gc", "recovery",
+                              node=self.config.node_id):
+            for lo, hi in active.intervals():
+                for key in range(lo, hi + 1):
+                    crash_point(CP_RESTART_GC_MID_POLL)
+                    polled += 1
+                    for store in stores:
+                        if store.poll_and_free(key):
+                            reclaimed += 1
+            self.keygen.clear_active_set(self.config.node_id)
+        self.metrics.counter("restart_gc_polled_keys").increment(polled)
         return reclaimed
+
+    def _fence_in_flight_writes(self, stores: "List[CloudDbspace]") -> None:
+        """Wait out every accepted-but-unsettled store request.
+
+        Polling before a dead node's in-flight puts have settled lets a
+        late-completing put outrun the poll's blind delete under
+        last-writer-wins, resurrecting the orphan.  Restart GC therefore
+        fences: the clock advances past the stores' write horizon so the
+        deletes it issues are unambiguously last.
+        """
+        horizon = 0.0
+        for dbspace in stores:
+            store = getattr(dbspace.io, "client", None)
+            store = getattr(store, "store", None)
+            if store is not None and hasattr(store, "write_horizon"):
+                horizon = max(horizon, store.write_horizon())
+        if horizon > self.clock.now():
+            self.clock.advance_to(horizon + 1e-6)
 
     # ------------------------------------------------------------------ #
     # snapshots & point-in-time restore
@@ -692,6 +785,7 @@ class Database:
             self._freelists(),
             max_consumed_key=self.key_cache.last_consumed,
         )
+        crash_point(CP_SNAPSHOT_BEFORE_LOG)
         self.log.append(
             SNAPSHOT_CREATED,
             {
@@ -699,6 +793,7 @@ class Database:
                 "max_allocated_key": snapshot.max_allocated_key,
             },
         )
+        crash_point(CP_SNAPSHOT_AFTER_LOG)
         # Charge the small metadata backup (system dbspace write).
         self.system_device.charge_write(
             len(snapshot.catalog_bytes) + len(snapshot.snapmgr_metadata)
@@ -715,22 +810,28 @@ class Database:
             self.txn_manager.rollback(txn)
         current_max = self.keygen.max_allocated_key
         self.catalog = Catalog.from_bytes(snapshot.catalog_bytes)
-        self.snapshot_manager.restore_metadata(snapshot.snapmgr_metadata)
         # Thanks to monotonic allocation, keys consumed after the snapshot
         # all lie above the snapshot's consumption floor; poll them for GC,
-        # skipping anything the restored catalog or the retention FIFO
-        # still references.
+        # skipping anything the restored catalog or the snapshot's captured
+        # retention FIFO still references.  The FIFO switch itself is a
+        # durable-metadata write and happens only after the polls: a crash
+        # at the point below recovers to the pre-restore state with the
+        # pre-restore FIFO fully intact, so nothing leaks.
         cloud_stores = self.cloud_dbspaces()
         if cloud_stores:
+            crash_point(CP_RESTORE_BEFORE_POLL)
             keep = self._reachable_cloud_keys()
-            for locators in self.snapshot_manager.retained_locators().values():
-                keep.update(locators)
+            for __, locator, __expiry in SnapshotManager.decode_metadata(
+                snapshot.snapmgr_metadata
+            ):
+                keep.add(locator)
             floor = snapshot.max_consumed_key or snapshot.max_allocated_key
             for key in range(floor + 1, current_max + 1):
                 if key in keep:
                     continue
                 for store in cloud_stores.values():
                     store.poll_and_free(key)
+        self.snapshot_manager.restore_metadata(snapshot.snapmgr_metadata)
         for name, payload in snapshot.freelists.items():
             from repro.blockstore.freelist import Freelist
 

@@ -53,10 +53,20 @@ from repro.objectstore.errors import (
     RetriesExhaustedError,
 )
 from repro.objectstore.s3sim import SimulatedObjectStore, TransientRequestError
+from repro.sim.crashpoints import crash_point, register_crash_point
 from repro.sim.metrics import MetricsRegistry
 from repro.sim.pipes import Pipe
 from repro.sim.rng import DeterministicRng
 from repro.sim.tracing import NULL_TRACER
+
+CP_PUT_BEFORE_REQUEST = register_crash_point(
+    "client.put.before_request",
+    "a PUT reached the client but no request ever left the node",
+)
+CP_DELETE_BEFORE_REQUEST = register_crash_point(
+    "client.delete.before_request",
+    "a DELETE reached the client but no request ever left the node",
+)
 
 
 @dataclass(frozen=True)
@@ -326,6 +336,7 @@ class RetryingObjectClient:
         """
         if self.enforce_unique_keys and key in self._written_keys:
             raise OverwriteForbiddenError(key)
+        crash_point(CP_PUT_BEFORE_REQUEST)
         span = self.tracer.begin("put", "client", start=now,
                                  key=key, nbytes=len(data))
         when = now
@@ -450,6 +461,7 @@ class RetryingObjectClient:
 
     def delete_at(self, key: str, now: float) -> float:
         """Delete with retry on transient failures (GC batches)."""
+        crash_point(CP_DELETE_BEFORE_REQUEST)
         span = self.tracer.begin("delete", "client", start=now, key=key)
         when = now
         previous: "Optional[float]" = None

@@ -495,12 +495,46 @@ class SimulatedObjectStore(ObjectStore):
             1 for v in self._objects.values() if v.latest_data() is not None
         )
 
+    def write_horizon(self) -> float:
+        """Latest settle time of any write or delete the store accepted.
+
+        Restart GC fences on this before polling a crashed node's keys: a
+        request the dead node issued before crashing can carry a later
+        operation time than a recovery that runs quickly afterwards, and
+        under last-writer-wins such an in-flight put would outrun the
+        poll's blind delete and resurrect the orphan it just reclaimed.
+        Waiting until every accepted request has settled makes the delete
+        the unambiguous last writer.
+        """
+        horizon = 0.0
+        for versioned in self._objects.values():
+            for op_time, visible_at, __ in versioned._versions:
+                settle = max(op_time, visible_at)
+                if settle > horizon:
+                    horizon = settle
+        return horizon
+
     # Introspection used by tests/ablations.
 
     def latest_data(self, key: str) -> "Optional[bytes]":
         """The most recent version regardless of visibility (test hook)."""
         versioned = self._objects.get(key)
         return versioned.latest_data() if versioned is not None else None
+
+    def all_keys(self, prefix: str = "") -> "List[str]":
+        """Keys whose latest version exists, regardless of visibility.
+
+        The auditor's enumeration primitive: unlike :meth:`list_keys` it
+        must see freshly written objects that eventual consistency still
+        hides, and it charges no virtual time (fsck inspects the store's
+        ground truth, it does not model LIST billing).
+        """
+        return [
+            key
+            for key in sorted(self._objects)
+            if key.startswith(prefix)
+            and self._objects[key].latest_data() is not None
+        ]
 
     def prefix_count(self) -> int:
         """Number of distinct key prefixes seen so far."""

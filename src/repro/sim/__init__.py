@@ -11,6 +11,14 @@ from repro.sim.clock import VirtualClock
 from repro.sim.rng import DeterministicRng
 from repro.sim.pipes import Pipe, TokenBucket
 from repro.sim.devices import QueueingDevice, DeviceProfile
+from repro.sim.crashpoints import (
+    CRASH_POINTS,
+    CrashPointError,
+    CrashPointRegistry,
+    SimulatedCrash,
+    crash_point,
+    register_crash_point,
+)
 from repro.sim.metrics import (
     Counter,
     Histogram,
@@ -27,6 +35,12 @@ __all__ = [
     "TokenBucket",
     "QueueingDevice",
     "DeviceProfile",
+    "CRASH_POINTS",
+    "CrashPointError",
+    "CrashPointRegistry",
+    "SimulatedCrash",
+    "crash_point",
+    "register_crash_point",
     "Counter",
     "Histogram",
     "MetricNameCollisionError",

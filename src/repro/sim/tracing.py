@@ -43,6 +43,7 @@ from repro.sim.metrics import MetricsRegistry
 # listed top-of-stack first.
 LAYERS = (
     "query", "engine", "buffer", "ocm", "ssd", "client", "retry", "store",
+    "recovery", "audit",
 )
 
 

@@ -24,12 +24,35 @@ from typing import Dict, Iterable, List, Optional, Protocol, Sequence, Tuple
 from repro.blockstore.device import BlockDevice
 from repro.blockstore.freelist import Freelist
 from repro.objectstore.client import RetryingObjectClient
+from repro.sim.crashpoints import crash_point, register_crash_point
 from repro.storage.keys import hashed_object_name, object_key_from_name
 from repro.storage.locator import (
     NULL_LOCATOR,
     block_range,
     is_object_key,
     make_block_locator,
+)
+
+CP_WRITE_PAGE_BEFORE_PUT = register_crash_point(
+    "dbspace.write_page.before_put",
+    "object key consumed but the PUT never left the node",
+)
+CP_WRITE_PAGE_AFTER_PUT = register_crash_point(
+    "dbspace.write_page.after_put",
+    "object uploaded but its locator never reached the caller "
+    "(orphan covered by the keygen active set)",
+)
+CP_WRITE_PAGES_BEFORE_PUT = register_crash_point(
+    "dbspace.write_pages.before_put",
+    "batch of keys consumed, none of the PUTs issued",
+)
+CP_FREE_PAGE_BEFORE_DELETE = register_crash_point(
+    "dbspace.free_page.before_delete",
+    "GC decided to free a page but the DELETE never left the node",
+)
+CP_POLL_BEFORE_DELETE = register_crash_point(
+    "dbspace.poll.before_delete",
+    "restart-GC poll probed an orphan key but crashed before deleting it",
 )
 
 
@@ -384,8 +407,10 @@ class CloudDbspace(PageStore):
     ) -> int:
         # Never write an object twice: in_place_ok is deliberately ignored.
         key = self.key_source.next_key()
+        crash_point(CP_WRITE_PAGE_BEFORE_PUT)
         self.io.put(self.object_name(key), self._seal(payload),
                     txn_id=txn_id, commit_mode=commit_mode)
+        crash_point(CP_WRITE_PAGE_AFTER_PUT)
         return key
 
     def read_page(self, locator: int) -> bytes:
@@ -415,6 +440,7 @@ class CloudDbspace(PageStore):
         commit_mode: bool = False,
     ) -> "List[int]":
         keys = [self.key_source.next_key() for __ in payloads]
+        crash_point(CP_WRITE_PAGES_BEFORE_PUT)
         items = [
             (self.object_name(key), self._seal(payload))
             for key, payload in zip(keys, payloads)
@@ -423,9 +449,12 @@ class CloudDbspace(PageStore):
         return keys
 
     def free_page(self, locator: int) -> None:
+        crash_point(CP_FREE_PAGE_BEFORE_DELETE)
         self.io.delete(self.object_name(locator))
 
     def free_pages(self, locators: "Sequence[int]") -> None:
+        if locators:
+            crash_point(CP_FREE_PAGE_BEFORE_DELETE)
         self.io.delete_many([self.object_name(loc) for loc in locators])
 
     def poll_and_free(self, locator: int) -> bool:
@@ -440,6 +469,7 @@ class CloudDbspace(PageStore):
         """
         name = self.object_name(locator)
         existed = self.io.exists(name)
+        crash_point(CP_POLL_BEFORE_DELETE)
         self.io.delete(name)
         return existed
 

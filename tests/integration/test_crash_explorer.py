@@ -1,0 +1,75 @@
+"""Integration tests for the crash-exploration harness (bounded).
+
+The exhaustive sweep over every registered point lives in
+``benchmarks/test_crash_explorer.py`` (the ``crash`` marker / CI
+crash-smoke job); here a handful of representative episodes keep the
+harness itself honest inside tier-1.
+"""
+
+from repro.bench.crash_explorer import (
+    registered_points,
+    run_churn_episode,
+    run_episode,
+    explore_random,
+)
+
+# One point per protocol family: commit, GC, snapshot reap, restart GC,
+# multiplex restart, restore.
+REPRESENTATIVE_POINTS = [
+    "txn.commit.before_log",
+    "txn.gc.after_apply_rf",
+    "snapshot.reap.after_free",
+    "engine.restart_gc.mid_poll",
+    "multiplex.restart_gc.mid_poll",
+    "engine.restore.before_poll",
+]
+
+
+def test_representative_points_recover_cleanly():
+    names = registered_points()
+    for point in REPRESENTATIVE_POINTS:
+        assert point in names
+        result = run_episode(point, seed=0)
+        assert result.ok, (point, result.violations)
+        assert result.fired >= 1, point
+        assert result.crashes >= 1, point
+
+
+def test_broken_gc_is_caught_as_leak():
+    """The deliberately broken GC regression fixture must be detected."""
+    result = run_churn_episode("txn.commit.after_log", seed=0,
+                               broken_gc=True)
+    assert result.ok, result.violations  # ok == leak was *detected*
+    assert result.report is not None and result.report.leaked
+
+
+def test_clean_episode_without_arming():
+    result = run_churn_episode(None, seed=3)
+    assert result.ok, result.violations
+    assert result.fired == 0  # nothing armed, nothing injected
+    assert result.report is not None and result.report.ok()
+
+
+def test_fencing_regression_in_flight_put_vs_restart_gc():
+    """Regression: an in-flight PUT accepted before the crash must not
+    outlive restart GC's blind delete (last-writer-wins resurrection)."""
+    result = run_episode("client.put.before_request", seed=12, arm_skip=2)
+    assert result.ok, result.violations
+
+
+def test_random_schedules_are_deterministic():
+    first = explore_random(count=3, seed=5)
+    second = explore_random(count=3, seed=5)
+    summary = lambda results: [
+        (r.crash_point, r.seed, r.fired, r.ok) for r in results
+    ]
+    assert summary(first) == summary(second)
+    assert all(r.ok for r in first), [r.violations for r in first]
+
+
+def test_episode_results_are_machine_readable():
+    result = run_episode("txn.commit.before_publish", seed=0)
+    payload = result.to_dict()
+    assert payload["crash_point"] == "txn.commit.before_publish"
+    assert payload["ok"] is True
+    assert isinstance(payload["audit"], dict)
