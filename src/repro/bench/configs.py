@@ -50,6 +50,19 @@ OCM_DIVISOR = 30
 OCM_FLOOR = 1280 * 1024
 
 
+# The PR 5 write-path stack, as one overrides bundle: AIMD-controlled
+# upload window, adjacent-key PUT coalescing, and group commit flush.
+# Backpressure (ocm_max_pending_uploads) is deliberately NOT part of the
+# bundle — it trades load latency for a bounded queue and is a deployment
+# choice, not a pure optimisation.  Usage:
+#     load_engine(..., **WRITE_PATH_OPTIMIZED)
+WRITE_PATH_OPTIMIZED: "Dict[str, object]" = dict(
+    adaptive_upload_window=True,
+    coalesce_puts=True,
+    group_commit_flush=True,
+)
+
+
 def bench_config(
     instance_type: str = "m5ad.24xlarge",
     user_volume: str = "s3",

@@ -79,9 +79,22 @@ class EpisodeResult:
         }
 
 
-def base_config(seed: int) -> DatabaseConfig:
+# Crash points living inside the adaptive write pipeline only exist on
+# code paths the default configuration never takes; their episodes run
+# the same churn workload with the pipeline knobs on.
+WRITE_PIPELINE_PREFIXES = ("ocm.batch_flush.", "client.put_range.")
+WRITE_PIPELINE_OVERRIDES: "Dict[str, object]" = dict(
+    adaptive_upload_window=True,
+    coalesce_puts=True,
+    group_commit_flush=True,
+)
+
+
+def base_config(
+    seed: int, overrides: "Optional[Dict[str, object]]" = None
+) -> DatabaseConfig:
     """A deliberately tiny engine: small pages, a buffer that thrashes."""
-    return DatabaseConfig(
+    settings: "Dict[str, object]" = dict(
         seed=seed,
         page_size=PAGE_SIZE,
         buffer_capacity_bytes=BUFFER_FRAMES * PAYLOAD_BYTES,
@@ -91,10 +104,15 @@ def base_config(seed: int) -> DatabaseConfig:
         system_volume_size_bytes=32 * 1024 * 1024,
         retention_seconds=RETENTION_SECONDS,
     )
+    if overrides:
+        settings.update(overrides)
+    return DatabaseConfig(**settings)  # type: ignore[arg-type]
 
 
-def build_engine(seed: int) -> Database:
-    return Database(base_config(seed))
+def build_engine(
+    seed: int, overrides: "Optional[Dict[str, object]]" = None
+) -> Database:
+    return Database(base_config(seed, overrides))
 
 
 def install_broken_gc(db: Database) -> None:
@@ -132,12 +150,13 @@ def run_churn_episode(
     seed: int = 0,
     broken_gc: bool = False,
     arm_skip: int = 0,
+    config_overrides: "Optional[Dict[str, object]]" = None,
 ) -> EpisodeResult:
     """One seeded churn workload crashed (maybe repeatedly) at one point."""
     CRASH_POINTS.disarm_all()
     result = EpisodeResult(crash_point=crash_point_name, seed=seed,
                            mode="churn")
-    db = build_engine(seed)
+    db = build_engine(seed, config_overrides)
     if broken_gc:
         install_broken_gc(db)
     expected: "Dict[Tuple[str, int], bytes]" = {}
@@ -515,6 +534,12 @@ def run_episode(
         if crash_point_name.startswith("engine.restore."):
             return run_restore_episode(crash_point_name, seed=seed,
                                        arm_skip=arm_skip)
+        if crash_point_name.startswith(WRITE_PIPELINE_PREFIXES):
+            return run_churn_episode(
+                crash_point_name, seed=seed, broken_gc=broken_gc,
+                arm_skip=arm_skip,
+                config_overrides=dict(WRITE_PIPELINE_OVERRIDES),
+            )
     return run_churn_episode(crash_point_name, seed=seed,
                              broken_gc=broken_gc, arm_skip=arm_skip)
 

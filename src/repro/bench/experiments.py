@@ -15,18 +15,23 @@ import time
 from typing import Dict, List, Optional, Tuple
 
 from repro.bench.configs import (
+    BENCH_PARTITIONS,
+    BENCH_ROWS_PER_PAGE,
     BENCH_SCALE_FACTOR,
     PAPER_SCALE_FACTOR,
+    WRITE_PATH_OPTIMIZED,
     load_engine,
+    make_engine,
 )
 from repro.bench.report import geomean
-from repro.columnar import ColumnSchema, QueryContext, TableSchema
+from repro.columnar import ColumnSchema, ColumnStore, QueryContext, TableSchema
 from repro.core.multiplex import Multiplex  # noqa: F401  (re-export for examples)
 from repro.costs.pricing import DEFAULT_PRICES
 from repro.engine import Database
+from repro.objectstore.faults import FaultSchedule, ThrottleStorm
 from repro.sim.metrics import snapshot_delta
 from repro.tpch import power_run
-from repro.tpch.runner import make_streams, run_stream
+from repro.tpch.runner import load_tpch_timed, make_streams, run_stream
 
 GIB = 1024 ** 3
 # Average compressed object size in the real system (~520 GB over ~1.4M
@@ -434,6 +439,92 @@ def run_churn_query_workload(
         "ranged_get_requests": requests.get("ranged_get_requests", 0.0),
         "workload_usd": workload_usd,
         "ocm_hit_rate": hits / (hits + misses) if hits + misses else None,
+        "wall_seconds": time.monotonic() - wall_started,
+    }
+
+
+# ---------------------------------------------------------------------- #
+# Table 2's load column: the adaptive write-back pipeline (PR 5)
+# ---------------------------------------------------------------------- #
+
+def run_bulk_load_workload(
+    optimized: bool = False,
+    scale_factor: float = BENCH_SCALE_FACTOR,
+    instance_type: str = "m5ad.24xlarge",
+    throttle_rate_factor: "Optional[float]" = None,
+) -> "Dict[str, object]":
+    """TPC-H bulk load measuring the write path (DESIGN.md §11).
+
+    ``optimized=True`` enables the PR 5 write stack (AIMD upload window,
+    adjacent-key PUT coalescing, group commit flush); the default is the
+    paper's fixed-window one-PUT-per-page drain.  With
+    ``throttle_rate_factor`` set, a ThrottleStorm clamps the store's
+    per-prefix PUT rate to that fraction for the whole load — the
+    regime real S3 enforces at full scale (the sim's scaled-up request
+    rates never bind at bench scale factors, so a clean-store load hides
+    the request-count savings in the virtual-time column).
+
+    USD/load extrapolates *request counts* (not bytes) to the paper's
+    SF 1000: coalescing cuts requests while moving the same bytes, so a
+    byte-volume extrapolation would price both configurations
+    identically and erase exactly the effect under test.
+    """
+    wall_started = time.monotonic()
+    overrides: "Dict[str, object]" = {}
+    if optimized:
+        overrides.update(WRITE_PATH_OPTIMIZED)
+    if throttle_rate_factor is not None:
+        overrides["fault_schedule"] = FaultSchedule(
+            [ThrottleStorm(0.0, float("inf"), ops=("put",),
+                           rate_factor=throttle_rate_factor)],
+            name="load-throttle",
+        )
+    db = make_engine(instance_type, "s3", scale_factor, True, **overrides)
+    assert db.object_store is not None
+    store = ColumnStore(db)
+    before = db.object_store.metrics.snapshot()
+    load_started = db.clock.now()
+    __states, table_seconds = load_tpch_timed(
+        store, scale_factor, partitions=BENCH_PARTITIONS,
+        rows_per_page=BENCH_ROWS_PER_PAGE,
+    )
+    load_seconds = db.clock.now() - load_started
+    requests = snapshot_delta(before, db.object_store.metrics.snapshot())
+    ratio = PAPER_SCALE_FACTOR / scale_factor
+    paper_puts = int(requests.get("put_requests", 0.0) * ratio)
+    paper_gets = int(requests.get("get_requests", 0.0) * ratio)
+    load_usd = (
+        DEFAULT_PRICES.instance_rate(instance_type) * load_seconds / 3600.0
+        + DEFAULT_PRICES.request_price("s3").cost(
+            puts=paper_puts, gets=paper_gets
+        )
+    )
+    ocm_stats = db.ocm.stats() if db.ocm is not None else {}
+    return {
+        "optimized": optimized,
+        "config": {
+            "adaptive_upload_window": db.config.adaptive_upload_window,
+            "coalesce_puts": db.config.coalesce_puts,
+            "group_commit_flush": db.config.group_commit_flush,
+            "instance_type": instance_type,
+            "scale_factor": scale_factor,
+            "throttle_rate_factor": throttle_rate_factor,
+        },
+        "load_virtual_seconds": load_seconds,
+        "table_virtual_seconds": dict(sorted(table_seconds.items())),
+        "put_requests": requests.get("put_requests", 0.0),
+        "get_requests": requests.get("get_requests", 0.0),
+        "ranged_put_requests": requests.get("ranged_put_requests", 0.0),
+        "ranged_put_keys": requests.get("ranged_put_keys", 0.0),
+        "put_bytes": requests.get("put_bytes", 0.0),
+        "throttled_requests": db.object_store.throttled_requests(),
+        "write_back": ocm_stats.get("write_back", 0.0),
+        "write_through": ocm_stats.get("write_through", 0.0),
+        "flush_for_commit_jobs": ocm_stats.get("flush_for_commit_jobs", 0.0),
+        "batched_flush_uploads": ocm_stats.get("batched_flush_uploads", 0.0),
+        "aimd_backoffs": ocm_stats.get("aimd_backoffs", 0.0),
+        "upload_window": ocm_stats.get("upload_window"),
+        "load_usd": load_usd,
         "wall_seconds": time.monotonic() - wall_started,
     }
 

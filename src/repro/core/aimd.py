@@ -1,0 +1,144 @@
+"""AIMD controller for the OCM's upload window.
+
+The write-back drain used to run with a fixed ``upload_window = 16`` — the
+same constant whether the object store was idle or mid ThrottleStorm.
+Taurus-style frugal write paths instead treat the in-flight window like a
+TCP congestion window:
+
+- **additive increase**: every clean completion grows the window by a
+  small fraction (default 1/16 of a slot), so a healthy backend earns
+  deeper pipelines one round-trip at a time;
+- **multiplicative decrease**: any sign of pushback — a retry (transient
+  failure or throttle-induced error) or a completion whose latency spikes
+  far above the EWMA-smoothed norm — halves the window at once.
+
+ThrottleStorm faults in the simulator surface as *delay*, not errors
+(tokens cost ``1 / throttle_factor`` times more), so retries alone would
+miss them; the latency-spike detector is what catches a silently
+throttled prefix.  A virtual-time cooldown makes one burst of bad
+completions count as one cut, mirroring TCP's once-per-RTT rule —
+otherwise a single storm with 16 in-flight uploads would collapse the
+window to the floor instead of halving it.
+
+Everything here is deterministic and driven purely by virtual timestamps
+the caller already has; the controller never reads a clock of its own.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.sim.metrics import MetricsRegistry
+
+
+@dataclass(frozen=True)
+class AimdConfig:
+    """Tuning for :class:`AimdUploadController`."""
+
+    initial_window: int = 16
+    min_window: int = 2
+    max_window: int = 64
+    increase_per_completion: float = 1.0 / 16.0
+    decrease_factor: float = 0.5
+    latency_spike_factor: float = 3.0
+    ewma_alpha: float = 0.2
+    cooldown_seconds: float = 1.0
+
+    def validate(self) -> None:
+        if self.min_window < 1:
+            raise ValueError("min_window must be at least 1")
+        if self.max_window < self.min_window:
+            raise ValueError("max_window must be >= min_window")
+        if not self.min_window <= self.initial_window <= self.max_window:
+            raise ValueError(
+                f"initial_window {self.initial_window} outside "
+                f"[{self.min_window}, {self.max_window}]"
+            )
+        if self.increase_per_completion <= 0:
+            raise ValueError("increase_per_completion must be positive")
+        if not 0.0 < self.decrease_factor < 1.0:
+            raise ValueError("decrease_factor must be in (0, 1)")
+        if self.latency_spike_factor <= 1.0:
+            raise ValueError("latency_spike_factor must exceed 1")
+        if not 0.0 < self.ewma_alpha <= 1.0:
+            raise ValueError("ewma_alpha must be in (0, 1]")
+        if self.cooldown_seconds < 0:
+            raise ValueError("cooldown_seconds must be non-negative")
+
+
+class AimdUploadController:
+    """Adaptive window: additive increase, multiplicative decrease.
+
+    The window is held as a float so sub-slot additive increases
+    accumulate; :attr:`window` exposes the clamped integer the drain loop
+    actually uses.
+    """
+
+    def __init__(self, config: AimdConfig = AimdConfig(),
+                 metrics: "Optional[MetricsRegistry]" = None) -> None:
+        config.validate()
+        self.config = config
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._window = float(config.initial_window)
+        self._latency_ewma: "Optional[float]" = None
+        self._last_cut: "Optional[float]" = None
+        self._publish()
+
+    @property
+    def window(self) -> int:
+        """The integer window the drain loop should use right now."""
+        return max(self.config.min_window,
+                   min(self.config.max_window, int(self._window)))
+
+    @property
+    def latency_ewma(self) -> "Optional[float]":
+        return self._latency_ewma
+
+    def on_completion(self, started: float, completed: float,
+                      retries: int = 0) -> None:
+        """Feed one finished upload back into the controller.
+
+        ``started``/``completed`` are the upload's virtual times;
+        ``retries`` is how many transient failures it absorbed along the
+        way.  Spike detection compares against the EWMA *before* this
+        sample updates it, so a storm does not poison its own baseline.
+        """
+        latency = max(0.0, completed - started)
+        spiked = (
+            self._latency_ewma is not None
+            and latency > self._latency_ewma * self.config.latency_spike_factor
+        )
+        if retries > 0 or spiked:
+            self._backoff(completed)
+        else:
+            self._window = min(
+                float(self.config.max_window),
+                self._window + self.config.increase_per_completion,
+            )
+        alpha = self.config.ewma_alpha
+        if self._latency_ewma is None:
+            self._latency_ewma = latency
+        else:
+            self._latency_ewma += alpha * (latency - self._latency_ewma)
+        self._publish()
+
+    def _backoff(self, now: float) -> None:
+        if (self._last_cut is not None
+                and now - self._last_cut < self.config.cooldown_seconds):
+            return
+        self._last_cut = now
+        self._window = max(
+            float(self.config.min_window),
+            self._window * self.config.decrease_factor,
+        )
+        self.metrics.counter("aimd_backoffs").increment()
+
+    def _publish(self) -> None:
+        self.metrics.gauge("upload_window").set(float(self.window))
+
+    def __repr__(self) -> str:
+        return (
+            f"AimdUploadController(window={self.window}, "
+            f"ewma={self._latency_ewma}, raw={self._window:.3f})"
+        )

@@ -33,6 +33,7 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.core.aimd import AimdConfig, AimdUploadController
 from repro.core.cache_policy import make_policy
 from repro.objectstore.client import RetryingObjectClient
 from repro.objectstore.errors import CircuitOpenError, DegradedCacheMissError
@@ -42,6 +43,7 @@ from repro.sim.metrics import MetricsRegistry
 from repro.sim.rng import DeterministicRng
 from repro.sim.tracing import NULL_TRACER
 from repro.storage.dbspace import ObjectIO
+from repro.storage.keys import object_key_from_name
 
 CP_WRITE_THROUGH_BEFORE_PUT = register_crash_point(
     "ocm.write_through.before_put",
@@ -55,6 +57,16 @@ CP_FLUSH_BEFORE_UPLOAD = register_crash_point(
     "ocm.flush.before_upload",
     "FlushForCommit drained some queued write-backs, crashed mid-queue "
     "(remaining pages exist only on the dead node's SSD)",
+)
+CP_BATCH_FLUSH_BEFORE_UPLOAD = register_crash_point(
+    "ocm.batch_flush.before_upload",
+    "group-commit flush was about to upload a coalesced batch; every page "
+    "in the batch (and all later batches) exists only on the dead node",
+)
+CP_BATCH_FLUSH_AFTER_UPLOAD = register_crash_point(
+    "ocm.batch_flush.after_upload",
+    "a coalesced batch landed on the store but the node died before the "
+    "commit record — the batch's objects are unreferenced until recovery",
 )
 
 
@@ -82,6 +94,22 @@ class OcmConfig:
     # stays enforced throughout: commit uploads bypass the breaker's
     # fail-fast and ride the retry policy through the outage.
     degraded_mode: bool = True
+    # Adaptive write pipeline (all off by default; the defaults reproduce
+    # the paper's fixed-window drain byte-for-byte):
+    # - adaptive_upload_window: replace the fixed upload_window with an
+    #   AIMD controller seeded at upload_window (see repro.core.aimd);
+    # - group_commit_flush: FlushForCommit promotes a transaction's
+    #   queued jobs as coalesced adjacent-key batches (requires the
+    #   client's coalesce_puts for multi-key requests, else batches of 1);
+    # - max_pending_uploads: backpressure — a write-back that would push
+    #   the pending-upload queue past this bound stalls the producer
+    #   while the oldest queued uploads drain (0 = unbounded, the
+    #   paper's behaviour).  Degraded mode wins: while the breaker is
+    #   open the queue may grow without bound, as before.
+    adaptive_upload_window: bool = False
+    group_commit_flush: bool = False
+    max_pending_uploads: int = 0
+    aimd: "Optional[AimdConfig]" = None
 
 
 class _CacheEntry:
@@ -138,6 +166,12 @@ class ObjectCacheManager(ObjectIO):
         self._anonymous_pending: "List[_PendingUpload]" = []
         self._upload_inflight: "List[float]" = []
         self._was_degraded = False
+        self._aimd: "Optional[AimdUploadController]" = None
+        if config.adaptive_upload_window:
+            aimd_config = config.aimd or AimdConfig(
+                initial_window=config.upload_window
+            )
+            self._aimd = AimdUploadController(aimd_config, metrics=self.metrics)
 
     # ------------------------------------------------------------------ #
     # degraded mode (client circuit breaker open)
@@ -553,6 +587,61 @@ class ObjectCacheManager(ObjectIO):
             self.metrics.gauge("degraded_queue_depth").set(
                 self.pending_upload_count()
             )
+        elif self.config.max_pending_uploads > 0:
+            self._apply_backpressure()
+
+    def _pop_oldest_pending(self) -> "Optional[_PendingUpload]":
+        """Remove and return the oldest queued upload across all queues."""
+        best: "Optional[List[_PendingUpload]]" = None
+        best_time: "Optional[float]" = None
+        if self._anonymous_pending:
+            best = self._anonymous_pending
+            best_time = self._anonymous_pending[0].enqueue_time
+        for jobs in self._pending.values():
+            if jobs and (best_time is None
+                         or jobs[0].enqueue_time < best_time):
+                best = jobs
+                best_time = jobs[0].enqueue_time
+        if best is None:
+            return None
+        return best.pop(0)
+
+    def _apply_backpressure(self) -> None:
+        """Stall the producer while the oldest queued uploads drain.
+
+        The paper's write-back queue is unbounded — a loader faster than
+        the network pipe accumulates pending uploads without limit.  With
+        ``max_pending_uploads`` set, the writer that pushes the queue
+        past the bound synchronously drains the oldest jobs (through the
+        live upload window, so AIMD backoff slows the producer too) until
+        the queue fits.  Drained jobs leave their queues — FlushForCommit
+        must never see them again, or it would PUT the same key twice.
+        """
+        limit = self.config.max_pending_uploads
+        stalled = False
+        while self.pending_upload_count() > limit:
+            job = self._pop_oldest_pending()
+            if job is None:
+                break
+            done = self._schedule_upload(job)
+            self.clock.advance_to(max(self.clock.now(), done))
+            entry = self._entries.get(job.name)
+            if entry is not None:
+                entry.uploaded = True
+                entry.in_lru = True
+            self.metrics.counter("backpressure_stalls").increment()
+            stalled = True
+        if stalled:
+            pipe = self.client.bandwidth
+            if pipe is not None:
+                now = self.clock.now()
+                pending = sum(
+                    len(job.data)
+                    for jobs in self._pending.values() for job in jobs
+                ) + sum(len(job.data) for job in self._anonymous_pending)
+                self.metrics.gauge("drain_eta_seconds").set(
+                    pipe.eta(now, float(pending)) - now
+                )
 
     def put_many(self, items: "Sequence[Tuple[str, bytes]]",
                  txn_id: "Optional[int]" = None,
@@ -564,7 +653,10 @@ class ObjectCacheManager(ObjectIO):
         ):
             if commit_mode:
                 # Parallel synchronous uploads, asynchronous cache fills.
-                self.client.put_many(items, window=self.config.upload_window,
+                # The window is read through _upload_window() so an AIMD
+                # backoff throttles commit-mode bursts too (it used to
+                # read the config constant and ignore live backoff).
+                self.client.put_many(items, window=self._upload_window(),
                                      bypass_breaker=True)
                 fill_time = self.clock.now()
                 for name, data in items:
@@ -581,16 +673,111 @@ class ObjectCacheManager(ObjectIO):
     # FlushForCommit and rollback
     # ------------------------------------------------------------------ #
 
+    def _upload_window(self) -> int:
+        """The drain window in force right now (live AIMD or the constant).
+
+        Every drain path — FlushForCommit, group batches, degraded-mode
+        recovery, commit-mode ``put_many`` — reads the window through
+        here, so an AIMD backoff throttles all of them at once.
+        """
+        if self._aimd is not None:
+            return self._aimd.window
+        return self.config.upload_window
+
+    def _put_retries(self) -> float:
+        return self.client.metrics.counter("put_retries").value
+
+    def _feed_aimd(self, started: float, completed: float,
+                   retries_before: float) -> None:
+        if self._aimd is None:
+            return
+        retries = int(self._put_retries() - retries_before)
+        self._aimd.on_completion(started, completed, retries=retries)
+
+    def _acquire_upload_slot(self, start: float) -> float:
+        """Wait (in virtual time) for an upload-window slot.
+
+        A ``while`` rather than an ``if``: after an AIMD backoff the
+        window may sit *below* the in-flight count, and new work must
+        wait for several completions, not one.  With a fixed window the
+        heap never exceeds the window, so at most one pop happens and
+        the schedule is identical to the historical behaviour.
+        """
+        window = self._upload_window()
+        while len(self._upload_inflight) >= window:
+            start = max(start, heapq.heappop(self._upload_inflight))
+        return start
+
     def _schedule_upload(self, job: _PendingUpload) -> float:
         start = max(job.enqueue_time, self.clock.now())
-        if len(self._upload_inflight) >= self.config.upload_window:
-            start = max(start, heapq.heappop(self._upload_inflight))
+        start = self._acquire_upload_slot(start)
+        retries_before = self._put_retries() if self._aimd is not None else 0.0
         # Queued write-backs drain on the commit/recovery path, where the
         # data must reach the store: bypass the breaker's fail-fast.
         done = self.client.put_at(job.name, job.data, start,
                                   bypass_breaker=True)
         heapq.heappush(self._upload_inflight, done)
+        self._feed_aimd(start, done, retries_before)
         return done
+
+    def _schedule_batch(self, batch: "List[_PendingUpload]") -> float:
+        """Upload a coalesced batch through one window slot.
+
+        A batch of one rides the plain single-PUT path; larger batches
+        become one ranged multi-put billed as a single request.  Either
+        way the batch occupies one slot of the live window, so the AIMD
+        controller bounds *requests* in flight, coalesced or not.
+        """
+        if len(batch) == 1:
+            return self._schedule_upload(batch[0])
+        start = max(max(job.enqueue_time for job in batch), self.clock.now())
+        start = self._acquire_upload_slot(start)
+        retries_before = self._put_retries() if self._aimd is not None else 0.0
+        done = self.client.put_batch_at(
+            [(job.name, job.data) for job in batch], start,
+            bypass_breaker=True,
+        )
+        heapq.heappush(self._upload_inflight, done)
+        self._feed_aimd(start, done, retries_before)
+        self.metrics.counter("batched_flush_uploads").increment(len(batch))
+        return done
+
+    def _group_adjacent(
+        self, jobs: "List[_PendingUpload]"
+    ) -> "List[List[_PendingUpload]]":
+        """Pack queued jobs into adjacent-key runs for coalesced upload.
+
+        Mirrors the client's read-side ``_coalesce_runs``: fresh page
+        keys are allocated monotonically, so a transaction's queue is
+        dominated by adjacency runs.  Jobs whose names do not carry a
+        parseable key — and everything when the client has coalescing
+        disabled — stay as singleton batches.
+        """
+        if not self.client.coalesce_puts:
+            return [[job] for job in jobs]
+        max_run = self.client.coalesce_max_run
+        keyed: "List[Tuple[int, _PendingUpload]]" = []
+        batches: "List[List[_PendingUpload]]" = []
+        for job in jobs:
+            try:
+                keyed.append((object_key_from_name(job.name), job))
+            except ValueError:
+                batches.append([job])
+        keyed.sort(key=lambda pair: pair[0])
+        run: "List[_PendingUpload]" = []
+        previous_key: "Optional[int]" = None
+        for key, job in keyed:
+            if (run and previous_key is not None
+                    and key == previous_key + 1 and len(run) < max_run):
+                run.append(job)
+            else:
+                if run:
+                    batches.append(run)
+                run = [job]
+            previous_key = key
+        if run:
+            batches.append(run)
+        return batches
 
     def flush_for_commit(self, txn_id: int) -> None:
         """Promote and drain the transaction's queued uploads (Section 4).
@@ -603,14 +790,26 @@ class ObjectCacheManager(ObjectIO):
         with self.tracer.span("flush_for_commit", "ocm",
                               txn_id=txn_id, jobs=len(jobs)):
             last = self.clock.now()
-            for job in jobs:
-                crash_point(CP_FLUSH_BEFORE_UPLOAD)
-                done = self._schedule_upload(job)
-                last = max(last, done)
-                entry = self._entries.get(job.name)
-                if entry is not None:
-                    entry.uploaded = True
-                    entry.in_lru = True
+            if self.config.group_commit_flush:
+                for batch in self._group_adjacent(jobs):
+                    crash_point(CP_BATCH_FLUSH_BEFORE_UPLOAD)
+                    done = self._schedule_batch(batch)
+                    last = max(last, done)
+                    for job in batch:
+                        entry = self._entries.get(job.name)
+                        if entry is not None:
+                            entry.uploaded = True
+                            entry.in_lru = True
+                    crash_point(CP_BATCH_FLUSH_AFTER_UPLOAD)
+            else:
+                for job in jobs:
+                    crash_point(CP_FLUSH_BEFORE_UPLOAD)
+                    done = self._schedule_upload(job)
+                    last = max(last, done)
+                    entry = self._entries.get(job.name)
+                    if entry is not None:
+                        entry.uploaded = True
+                        entry.in_lru = True
             self.clock.advance_to(last)
             if jobs:
                 self.metrics.counter("flush_for_commit_jobs").increment(

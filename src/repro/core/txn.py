@@ -41,6 +41,7 @@ from repro.core.log import (
     TransactionLog,
 )
 from repro.sim.crashpoints import crash_point, register_crash_point
+from repro.sim.tracing import NULL_TRACER
 from repro.storage.blockmap import Blockmap
 from repro.storage.dbspace import PageStore
 from repro.storage.identity import Catalog, IdentityObject
@@ -267,10 +268,12 @@ class TransactionManager:
         self.stats = {
             "commits": 0,
             "rollbacks": 0,
+            "flush_promotions": 0,
             "gc_entries_collected": 0,
             "gc_pages_deleted": 0,
             "gc_pages_retained": 0,
         }
+        self.tracer = NULL_TRACER
 
     # ------------------------------------------------------------------ #
     # lifecycle
@@ -426,8 +429,14 @@ class TransactionManager:
         crash_point(CP_COMMIT_BEFORE_FLUSH)
         # 1. FlushForCommit: promote this transaction's queued write-back
         #    uploads and switch its writes to write-through (Section 4).
-        for dbspace_name in txn.touched_dbspaces():
-            node.dbspace(dbspace_name).flush_for_commit(txn.txn_id)
+        #    With group_commit_flush the dbspace drains them as coalesced
+        #    batches; either way the commit waits for every upload.
+        touched = txn.touched_dbspaces()
+        with self.tracer.span("commit_flush_promotion", "txn",
+                              txn_id=txn.txn_id, dbspaces=len(touched)):
+            for dbspace_name in touched:
+                node.dbspace(dbspace_name).flush_for_commit(txn.txn_id)
+                self.stats["flush_promotions"] += 1
         crash_point(CP_COMMIT_AFTER_FLUSH_FOR_COMMIT)
         # 2. Flush remaining dirty pages write-through; durability before
         #    commit because the log carries metadata only.

@@ -137,6 +137,21 @@ class DatabaseConfig:
     # ranged multi-gets (one billed request, one token) before the
     # per-prefix token buckets
     coalesce_gets: bool = False
+    # Adaptive write-back pipeline (DESIGN.md §11; all off by default so
+    # the stock configuration reproduces the paper's fixed-window drain):
+    # - adaptive_upload_window: AIMD-controlled upload window seeded at
+    #   ocm_upload_window instead of the fixed constant;
+    # - coalesce_puts: the write-side mirror of coalesce_gets — runs of
+    #   freshly keyed adjacent pages become one billed ranged multi-put;
+    # - group_commit_flush: FlushForCommit drains a transaction's queued
+    #   write-backs as coalesced batches instead of one PUT per page;
+    # - ocm_max_pending_uploads: bound on the write-back queue; a loader
+    #   that outruns the drain stalls while the oldest uploads complete
+    #   (0 = unbounded, the paper's behaviour).
+    adaptive_upload_window: bool = False
+    coalesce_puts: bool = False
+    group_commit_flush: bool = False
+    ocm_max_pending_uploads: int = 0
     # object store behaviour
     consistency: ConsistencyModel = EVENTUAL
     prefix_bits: int = 16
@@ -388,6 +403,7 @@ class Database:
         """
         self.tracer = tracer
         self.buffer.tracer = tracer
+        self.txn_manager.tracer = tracer
         for dbspace in self.cloud_dbspaces().values():
             io = dbspace.io
             io.tracer = tracer
@@ -426,6 +442,7 @@ class Database:
                 hedge=cfg.hedge,
                 rng=self.rng.substream("object-client"),
                 coalesce_gets=cfg.coalesce_gets,
+                coalesce_puts=cfg.coalesce_puts,
             )
             if cfg.ocm_enabled:
                 ssd = scaled_profile(
@@ -445,6 +462,9 @@ class Database:
                         read_window=cfg.parallel_window,
                         adaptive_read_routing=cfg.ocm_adaptive_routing,
                         policy=cfg.ocm_policy,
+                        adaptive_upload_window=cfg.adaptive_upload_window,
+                        group_commit_flush=cfg.group_commit_flush,
+                        max_pending_uploads=cfg.ocm_max_pending_uploads,
                     ),
                     rng=self.rng.substream("ocm"),
                 )
@@ -529,6 +549,7 @@ class Database:
             node_id=cfg.node_id, breaker=cfg.breaker, hedge=cfg.hedge,
             rng=self.rng.substream(f"object-client/{name}"),
             coalesce_gets=cfg.coalesce_gets,
+            coalesce_puts=cfg.coalesce_puts,
         )
         encryptor = (
             PageEncryptor(cfg.encryption_key)

@@ -67,6 +67,11 @@ CP_DELETE_BEFORE_REQUEST = register_crash_point(
     "client.delete.before_request",
     "a DELETE reached the client but no request ever left the node",
 )
+CP_PUT_RANGE_BEFORE_REQUEST = register_crash_point(
+    "client.put_range.before_request",
+    "a coalesced PUT batch reached the client but no request ever left "
+    "the node (every key in the run is an unflushed orphan candidate)",
+)
 
 
 @dataclass(frozen=True)
@@ -255,6 +260,8 @@ class RetryingObjectClient:
         rng: "Optional[DeterministicRng]" = None,
         coalesce_gets: bool = False,
         coalesce_max_run: int = 16,
+        coalesce_puts: bool = False,
+        put_range_attempts: int = 2,
     ) -> None:
         if policy.max_attempts < 1:
             raise ValueError("retry policy must allow at least one attempt")
@@ -262,6 +269,8 @@ class RetryingObjectClient:
             raise ValueError("parallel window must be at least 1")
         if coalesce_max_run < 2:
             raise ValueError("coalesce_max_run must be at least 2")
+        if put_range_attempts < 1:
+            raise ValueError("put_range_attempts must be at least 1")
         self.store = store
         self.policy = policy
         self.enforce_unique_keys = enforce_unique_keys
@@ -272,6 +281,8 @@ class RetryingObjectClient:
         self.node_id = node_id
         self.coalesce_gets = coalesce_gets
         self.coalesce_max_run = coalesce_max_run
+        self.coalesce_puts = coalesce_puts
+        self.put_range_attempts = put_range_attempts
         self.metrics = MetricsRegistry()
         self.tracer = NULL_TRACER
         self.hedge = hedge
@@ -668,6 +679,116 @@ class RetryingObjectClient:
             if span is not None:
                 self.tracer.finish(span, end=when, error="failed")
 
+    # ------------------------------------------------------------------ #
+    # PUT coalescing (adjacent fresh-key runs become ranged multi-puts)
+    # ------------------------------------------------------------------ #
+
+    def put_batch_at(self, items: "Sequence[Tuple[str, bytes]]", now: float,
+                     bypass_breaker: bool = False) -> float:
+        """One coalesced multi-key PUT; return the batch completion time.
+
+        The batch is a single store request billed as one PUT.  Transient
+        failures retry the *whole* range up to ``put_range_attempts``
+        times; after that the batch degrades to per-key single PUTs, each
+        carrying the full retry schedule — a lost range never strands its
+        pages behind an unbounded range-retry loop.  Never-write-twice is
+        preserved on both paths: every key in the run is fresh (checked
+        against the ledger up front), a failed range landed nothing, and
+        keys enter the ledger only after the store accepted them.
+        """
+        if not items:
+            raise ValueError("put_batch_at requires at least one item")
+        if self.enforce_unique_keys:
+            for key, __ in items:
+                if key in self._written_keys:
+                    raise OverwriteForbiddenError(key)
+        crash_point(CP_PUT_RANGE_BEFORE_REQUEST)
+        anchor = items[0][0]
+        total = sum(len(data) for __, data in items)
+        span = self.tracer.begin("put_range", "client", start=now,
+                                 key=anchor, count=len(items), nbytes=total)
+        when = now
+        previous: "Optional[float]" = None
+        try:
+            for attempt in range(1, self.put_range_attempts + 1):
+                self._admit(anchor, when, bypass_breaker)
+                try:
+                    done = self.store.put_range_at(items, when,
+                                                   bandwidth=self.bandwidth,
+                                                   node=self.node_id)
+                except TransientRequestError as error:
+                    failed_at = error.failed_at  # type: ignore[attr-defined]
+                    self._note_failure(failed_at)
+                    self.metrics.counter("put_retries").increment()
+                    self.metrics.counter("put_range_retries").increment()
+                    previous = self._next_backoff(attempt, previous)
+                    when = failed_at + previous
+                    self.tracer.record("backoff", "retry", failed_at, when,
+                                       key=anchor, attempt=attempt)
+                    continue
+                self._note_success(done)
+                if self.enforce_unique_keys:
+                    for key, __ in items:
+                        self._written_keys.add(key)
+                self.metrics.counter("coalesced_put_batches").increment()
+                self.metrics.counter("coalesced_put_keys").increment(
+                    len(items)
+                )
+                self.tracer.finish(span, end=done, attempts=attempt)
+                span = None
+                return done
+            # The range budget is spent: fall back to per-key PUTs (full
+            # retry schedule each) from the time the last attempt failed.
+            self.metrics.counter("put_range_fallbacks").increment()
+            __, last = self._run_window_at(
+                [(key, data) for key, data in items], len(items), when,
+                bypass_breaker=bypass_breaker,
+            )
+            self.tracer.finish(span, end=last, outcome="per_key_fallback")
+            span = None
+            return last
+        finally:
+            if span is not None:
+                self.tracer.finish(span, end=when, error="failed")
+
+    def put_many_at(
+        self, items: "Sequence[Tuple[str, bytes]]", now: float,
+        window: "Optional[int]" = None, bypass_breaker: bool = False,
+    ) -> float:
+        """Timed ``put_many``: upload starting at ``now``; return the last
+        completion time without advancing the clock.
+
+        With ``coalesce_puts`` enabled, runs of adjacent fresh keys are
+        packed into ranged multi-puts (capped at ``coalesce_max_run``);
+        each run occupies one slot of the request window, so the live
+        window bounds *requests* in flight, coalesced or not.
+        """
+        items = list(items)
+        names = [key for key, __ in items]
+        if not self.coalesce_puts or len(set(names)) != len(names):
+            __, last = self._run_window_at(items, window, now,
+                                           bypass_breaker=bypass_breaker)
+            return last
+        data_by_name = dict(items)
+        width = window or self.parallel_window
+        inflight: "List[float]" = []
+        last_completion = now
+        for run in self._coalesce_runs(names):
+            start = now
+            if len(inflight) >= width:
+                start = max(now, heapq.heappop(inflight))
+            if len(run) == 1:
+                done = self.put_at(run[0], data_by_name[run[0]], start,
+                                   bypass_breaker=bypass_breaker)
+            else:
+                done = self.put_batch_at(
+                    [(name, data_by_name[name]) for name in run], start,
+                    bypass_breaker=bypass_breaker,
+                )
+            heapq.heappush(inflight, done)
+            last_completion = max(last_completion, done)
+        return last_completion
+
     def get_many_at(
         self, keys: "Iterable[str]", now: float,
         window: "Optional[int]" = None,
@@ -727,8 +848,13 @@ class RetryingObjectClient:
         window: "Optional[int]" = None,
         bypass_breaker: bool = False,
     ) -> None:
-        self._run_window([(key, data) for key, data in items], window,
-                         bypass_breaker=bypass_breaker)
+        jobs = [(key, data) for key, data in items]
+        if self.coalesce_puts:
+            last = self.put_many_at(jobs, self.clock.now(), window=window,
+                                    bypass_breaker=bypass_breaker)
+            self.clock.advance_to(last)
+            return
+        self._run_window(jobs, window, bypass_breaker=bypass_breaker)
 
     def delete_many(
         self, keys: "Iterable[str]", window: "Optional[int]" = None

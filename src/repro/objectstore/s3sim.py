@@ -268,6 +268,68 @@ class SimulatedObjectStore(ObjectStore):
                               op_time=completion)
         return completion
 
+    def put_range_at(self, items: "Sequence[Tuple[str, bytes]]", now: float,
+                     bandwidth: "Optional[Pipe]" = None,
+                     node: "Optional[str]" = None) -> float:
+        """Upload a run of adjacent keys as ONE billed multipart-style PUT.
+
+        The write-side mirror of :meth:`get_range_at`: the coalescing
+        client (``coalesce_puts``) packs runs of freshly keyed pages into
+        a single request — one token against the first key's per-prefix
+        PUT bucket, one request latency, one billed PUT, with the fault
+        schedule, failure draw and throttling applying once to the whole
+        batch.  Transfer time is charged for the combined payload.  A
+        failure means *nothing* landed (the request never completed), so
+        the client's per-key fallback cannot double-write.  On success
+        every key gets its own visibility lag draw, exactly as if it had
+        been PUT alone.  Returns the completion time.
+        """
+        if not items:
+            raise ValueError("put_range_at requires at least one item")
+        anchor = items[0][0]
+        total = 0
+        for key, data in items:
+            if not isinstance(data, (bytes, bytearray)):
+                raise TypeError(
+                    f"object data must be bytes, got {type(data)!r}"
+                )
+            total += len(data)
+        fault = self._consult_schedule("put", anchor, now, node)
+        start = self._put_bucket(self._prefix(anchor)).request(
+            now, 1.0 / fault.throttle_factor
+        )
+        __, uploaded = (bandwidth or self._bandwidth).request(
+            start, float(total)
+        )
+        completion = uploaded + (
+            self._jittered(self.profile.put_latency) * fault.latency_multiplier
+        )
+        self.metrics.counter("put_requests").increment()
+        self.metrics.counter("ranged_put_requests").increment()
+        self.metrics.counter("ranged_put_keys").increment(len(items))
+        self.metrics.counter("put_bytes").increment(total)
+        self.metrics.series("net_bytes").record(uploaded, total)
+        self._record_requests(puts=1)
+        kind = self._scheduled_failure(fault)
+        if kind is None and self._transient_failure():
+            kind = "transient"
+        self._trace_request("put_range", anchor, now, completion,
+                            nbytes=total, fault=kind, puts=1)
+        if kind is not None:
+            error = TransientRequestError(anchor, kind=kind)
+            error.failed_at = completion  # type: ignore[attr-defined]
+            raise error
+        for key, data in items:
+            lag = self.profile.consistency.sample_lag(self._lag_rng)
+            if lag > 0:
+                self.metrics.counter("delayed_visibility_puts").increment()
+            versioned = self._objects.setdefault(key, VersionedObject())
+            if versioned.latest_data() is not None:
+                self.metrics.counter("overwrites").increment()
+            versioned.add_version(completion + lag, bytes(data),
+                                  op_time=completion)
+        return completion
+
     def try_get_at(self, key: str, now: float,
                    bandwidth: "Optional[Pipe]" = None,
                    node: "Optional[str]" = None) -> "Tuple[Optional[bytes], float]":

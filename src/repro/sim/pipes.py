@@ -60,6 +60,18 @@ class Pipe:
         """Seconds needed to serve ``amount`` units on an idle pipe."""
         return amount / self._rate
 
+    def eta(self, now: float, amount: float) -> float:
+        """Completion estimate for ``amount`` units WITHOUT reserving them.
+
+        Backpressure logic peeks at a pipe's drain horizon to decide
+        whether a producer should stall; unlike :meth:`request` this does
+        not mutate the queue, so the eventual real request still charges
+        the pipe exactly once.
+        """
+        if amount < 0:
+            raise ValueError(f"cannot estimate negative work {amount!r}")
+        return max(now, self._next_free) + amount / self._rate
+
     def request(self, now: float, amount: float) -> "tuple[float, float]":
         """Reserve ``amount`` units of service; return ``(start, end)``."""
         if amount < 0:

@@ -1,0 +1,121 @@
+"""Unit tests for the AIMD upload-window controller."""
+
+import pytest
+
+from repro.core.aimd import AimdConfig, AimdUploadController
+
+
+def clean_completions(ctrl, count, latency=0.1, start=0.0):
+    now = start
+    for __ in range(count):
+        ctrl.on_completion(now, now + latency)
+        now += latency
+    return now
+
+
+def test_additive_increase_earns_one_slot_per_sixteen_completions():
+    ctrl = AimdUploadController(AimdConfig(initial_window=16))
+    assert ctrl.window == 16
+    clean_completions(ctrl, 15)
+    assert ctrl.window == 16  # sub-slot progress is invisible
+    clean_completions(ctrl, 1, start=2.0)
+    assert ctrl.window == 17
+
+
+def test_window_clamps_at_max():
+    ctrl = AimdUploadController(AimdConfig(initial_window=16, max_window=20))
+    clean_completions(ctrl, 16 * 10)
+    assert ctrl.window == 20
+
+
+def test_retry_triggers_multiplicative_decrease():
+    ctrl = AimdUploadController(AimdConfig(initial_window=16))
+    ctrl.on_completion(0.0, 0.1, retries=1)
+    assert ctrl.window == 8
+    assert ctrl.metrics.counter("aimd_backoffs").value == 1
+
+
+def test_latency_spike_triggers_decrease_without_retries():
+    ctrl = AimdUploadController(AimdConfig(initial_window=16))
+    # Establish a baseline EWMA around 0.1s...
+    clean_completions(ctrl, 16)
+    baseline = ctrl.window
+    # ...then one completion 10x slower than the norm, zero retries.
+    ctrl.on_completion(100.0, 101.0)
+    assert ctrl.window == baseline // 2
+
+
+def test_first_completion_never_counts_as_spike():
+    # No EWMA yet: even an enormous latency is just the new baseline.
+    ctrl = AimdUploadController(AimdConfig(initial_window=16))
+    ctrl.on_completion(0.0, 1000.0)
+    assert ctrl.window == 16
+    assert ctrl.metrics.counter("aimd_backoffs").value == 0
+
+
+def test_spike_judged_against_ewma_before_update():
+    # A spike must not poison its own baseline: two identical spikes in
+    # a row, outside the cooldown, both count as spikes against the
+    # pre-storm EWMA rather than the first spike legitimising the second.
+    ctrl = AimdUploadController(
+        AimdConfig(initial_window=64, max_window=64, cooldown_seconds=0.0)
+    )
+    clean_completions(ctrl, 4, latency=0.1)
+    ctrl.on_completion(10.0, 11.0)
+    ctrl.on_completion(11.0, 12.0)
+    assert ctrl.metrics.counter("aimd_backoffs").value == 2
+
+
+def test_cooldown_makes_one_storm_one_cut():
+    ctrl = AimdUploadController(AimdConfig(initial_window=64, max_window=64,
+                                           cooldown_seconds=1.0))
+    # Sixteen in-flight uploads all fail inside the same virtual second.
+    for i in range(16):
+        ctrl.on_completion(0.0, 0.5 + i * 0.01, retries=1)
+    assert ctrl.window == 32  # halved once, not collapsed to the floor
+    assert ctrl.metrics.counter("aimd_backoffs").value == 1
+    # The next storm, past the cooldown, cuts again.
+    ctrl.on_completion(2.0, 2.5, retries=1)
+    assert ctrl.window == 16
+
+
+def test_window_never_falls_below_min():
+    ctrl = AimdUploadController(AimdConfig(initial_window=16, min_window=2,
+                                           cooldown_seconds=0.0))
+    for i in range(10):
+        ctrl.on_completion(float(i * 10), float(i * 10) + 0.1, retries=1)
+    assert ctrl.window == 2
+
+
+def test_recovery_after_backoff():
+    ctrl = AimdUploadController(AimdConfig(initial_window=16))
+    ctrl.on_completion(0.0, 0.1, retries=1)
+    assert ctrl.window == 8
+    # 128 clean completions at 1/16 per completion earn back 8 slots.
+    clean_completions(ctrl, 128, start=10.0)
+    assert ctrl.window == 16
+
+
+def test_window_gauge_published():
+    ctrl = AimdUploadController(AimdConfig(initial_window=16))
+    assert ctrl.metrics.gauge("upload_window").value == 16.0
+    ctrl.on_completion(0.0, 0.1, retries=1)
+    assert ctrl.metrics.gauge("upload_window").value == 8.0
+
+
+@pytest.mark.parametrize("bad", [
+    dict(min_window=0),
+    dict(min_window=8, max_window=4),
+    dict(initial_window=100, max_window=64),
+    dict(initial_window=1, min_window=2),
+    dict(increase_per_completion=0.0),
+    dict(decrease_factor=1.0),
+    dict(decrease_factor=0.0),
+    dict(latency_spike_factor=1.0),
+    dict(ewma_alpha=0.0),
+    dict(ewma_alpha=1.5),
+    dict(cooldown_seconds=-1.0),
+])
+def test_config_validation_rejects(bad):
+    with pytest.raises(ValueError):
+        AimdUploadController(AimdConfig(**bad))
