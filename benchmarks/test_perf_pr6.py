@@ -1,0 +1,85 @@
+"""PR 6 target workload: the disaster-recovery drill across lag settings.
+
+One Table-1-style walkthrough per replication-lag setting, all on the
+virtual clock: commit, snapshot, lose the primary region, fail over,
+heal, fsck every region, restore the pre-outage snapshot on the new
+primary.  Two numbers per row (DESIGN.md §12):
+
+- **RTO** — virtual seconds from the start of the outage to the first
+  successful cold-cache query on the new primary.  Dominated by the
+  failover fence (waiting out the write horizon) plus the promotion
+  drain, so it grows with the mean replication lag.
+- **RPO** — zero for acknowledged writes (the durable replication queue
+  is drained before the primary flips); bounded by the staleness horizon
+  for replicated visibility.  The measured worst lag must sit inside the
+  bound in every configuration.
+
+Emits ``results/BENCH_pr6.json`` with the full drill measurements and a
+rendered table alongside.
+"""
+
+from bench_utils import emit, emit_json
+
+from repro.bench.dr import run_dr_matrix
+from repro.bench.report import format_table
+
+LAG_SETTINGS = (0.1, 0.5, 2.0)
+STALENESS_HORIZON = 30.0
+
+
+def _run_matrix():
+    return run_dr_matrix(LAG_SETTINGS, seed=0,
+                         staleness_horizon=STALENESS_HORIZON)
+
+
+def test_dr_failover_rto_rpo(benchmark):
+    results = benchmark.pedantic(_run_matrix, rounds=1, iterations=1)
+
+    payload = {
+        "workload": "dr_failover_drill",
+        "lag_settings": list(LAG_SETTINGS),
+        "staleness_horizon": STALENESS_HORIZON,
+        "drills": [result.to_dict() for result in results],
+    }
+    emit_json("BENCH_pr6", payload)
+
+    rows = []
+    for result in results:
+        rows.append([
+            result.mean_lag_seconds,
+            round(result.failover_seconds, 3),
+            round(result.rto_seconds, 3),
+            result.rpo_acknowledged_seconds,
+            result.rpo_bound_seconds,
+            round(result.max_observed_lag_seconds, 3),
+            result.drained_entries,
+            "clean" if result.audit_ok else "DIRTY",
+            "ok" if result.restore_ok else "FAILED",
+        ])
+    emit("BENCH_pr6", format_table(
+        ["mean lag (s)", "failover (s)", "RTO (s)", "RPO ack (s)",
+         "RPO bound (s)", "worst lag (s)", "drained", "fsck", "restore"],
+        rows,
+    ))
+
+    # PR 6 acceptance: every drill ends clean — failover loses nothing,
+    # the healed region reconciles, and the cross-region restore rewinds.
+    for result in results:
+        assert result.ok, (result.mean_lag_seconds, result.violations)
+        assert result.audit_ok and result.restore_ok
+        # RPO: acknowledged writes survive by construction; replicated
+        # visibility never exceeds the staleness horizon.
+        assert result.rpo_acknowledged_seconds == 0.0
+        assert result.max_observed_lag_seconds <= STALENESS_HORIZON
+        # RTO is a real, finite number on the virtual clock.
+        assert 0.0 < result.rto_seconds < 60.0
+    # More replication lag -> more queue to drain at promotion -> slower
+    # failover.  The ordering must hold across the matrix.
+    rtos = [result.rto_seconds for result in results]
+    assert rtos == sorted(rtos)
+
+    benchmark.extra_info.update({
+        f"rto_lag_{result.mean_lag_seconds:g}s":
+            round(result.rto_seconds, 3)
+        for result in results
+    })

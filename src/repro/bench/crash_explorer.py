@@ -34,6 +34,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 from repro.core.audit import AuditError, AuditReport, StoreAuditor
 from repro.core.multiplex import Multiplex, MultiplexConfig
 from repro.engine import Database, DatabaseConfig
+from repro.objectstore.replicated import ReplicationConfig
 from repro.sim.crashpoints import CRASH_POINTS, SimulatedCrash
 from repro.sim.rng import DeterministicRng
 
@@ -517,6 +518,189 @@ def run_restore_episode(
 
 
 # ---------------------------------------------------------------------- #
+# the failover episode (region outage -> promote -> heal)
+# ---------------------------------------------------------------------- #
+
+# Long enough that the fence + promote + restart GC all happen *inside*
+# the outage; the heal phase then advances past it plus the horizon.
+REGION_OUTAGE_SECONDS = 60.0
+REPLICATION_HORIZON = 5.0
+FAILOVER_REGIONS = ("region-a", "region-b")
+
+
+def failover_overrides() -> "Dict[str, object]":
+    return dict(
+        replication=ReplicationConfig(
+            regions=FAILOVER_REGIONS,
+            mean_lag_seconds=0.2,
+            staleness_horizon=REPLICATION_HORIZON,
+        ),
+    )
+
+
+def run_failover_episode(
+    crash_point_name: "Optional[str]" = None,
+    seed: int = 0,
+    arm_skip: int = 0,
+) -> EpisodeResult:
+    """Region outage on the primary, failover mid-crash, heal, audit.
+
+    The invariants are the DR claims of DESIGN.md §12: *no committed data
+    is lost within the replication horizon* (every acknowledged write
+    survives the failover because promotion drains the queue first), and
+    *leaks drain after failover + heal* (restart-GC tombstones replicate
+    into the healed region and beat the orphans under last-writer-wins).
+    """
+    CRASH_POINTS.disarm_all()
+    result = EpisodeResult(crash_point=crash_point_name, seed=seed,
+                           mode="failover")
+    mux = Multiplex(base_config(seed, failover_overrides()), MultiplexConfig(
+        writers=1,
+        secondary_buffer_bytes=BUFFER_FRAMES * PAYLOAD_BYTES,
+        secondary_ocm_bytes=4 * 1024 * 1024,
+    ))
+    coordinator = mux.coordinator
+    writer = mux.node("writer-1")
+    store = coordinator.object_store
+    expected: "Dict[Tuple[str, int], bytes]" = {}
+
+    def commit_via(node, obj: str, gen: int) -> None:
+        txn = node.begin()
+        for p in range(PAGES):
+            data = _payload(obj, p, gen, seed)
+            node.write_page(txn, obj, p, data)
+            expected[(obj, p)] = data
+        node.commit(txn)
+
+    # Baseline on the original primary; replication trails behind it.
+    coordinator.create_object("t0")
+    commit_via(writer, "t0", 0)
+
+    point = None
+    fired_before = 0
+    try:
+        if crash_point_name is not None:
+            point = CRASH_POINTS.point(crash_point_name)
+            fired_before = point.fired
+            CRASH_POINTS.arm(crash_point_name, skip=arm_skip)
+
+        # Orphan uploads covered only by the writer's active set; they
+        # land on the primary and queue for replication like any write.
+        for i in range(3):
+            writer.user_dbspace.write_page(
+                _payload("orphan", i, 1, seed), commit_mode=True
+            )
+        writer.crash()
+
+        # The primary region goes away; the writer's orphans and the
+        # baseline commits are already acknowledged, so none may be lost.
+        outage_start = mux.clock.now()
+        mux.inject_region_outage(
+            FAILOVER_REGIONS[0],
+            (outage_start, outage_start + REGION_OUTAGE_SECONDS),
+        )
+        mux.clock.advance(0.001)
+
+        # Fail over to the surviving region.  The target is pinned so a
+        # crash at any failover point is recovered by re-running the
+        # (idempotent) failover against the same region.
+        target = FAILOVER_REGIONS[1]
+        for __ in range(MAX_RECOVERY_ATTEMPTS):
+            try:
+                mux.region_failover(to_region=target)
+                break
+            except SimulatedCrash as exc:
+                result.crashes += 1
+                coordinator.crash_from(exc)
+                for __ in range(MAX_RECOVERY_ATTEMPTS):
+                    if not coordinator.crashed:
+                        break
+                    try:
+                        coordinator.restart()
+                    except SimulatedCrash as inner:
+                        result.crashes += 1
+                        coordinator.crash_from(inner)
+        else:
+            result.violations.append("region failover did not converge")
+
+        # Restart GC reclaims the orphans on the *new* primary; the blind
+        # deletes replicate as tombstones into the dead region's queue.
+        for __ in range(MAX_RECOVERY_ATTEMPTS):
+            try:
+                writer.restart()
+                break
+            except SimulatedCrash as exc:
+                result.crashes += 1
+                writer.crash_from(exc)
+        else:
+            result.violations.append("writer restart did not converge")
+
+        # Life goes on against the new primary.
+        commit_via(writer, "t0", 1)
+    finally:
+        CRASH_POINTS.disarm_all()
+        if point is not None:
+            result.fired = point.fired - fired_before
+
+    # Heal: ride past the outage end plus the staleness horizon, then
+    # reconcile the healed region (idempotent drain).
+    schedule = store.fault_schedule
+    heal_at = (schedule.horizon if schedule is not None else mux.clock.now())
+    mux.clock.advance_to(max(mux.clock.now(), heal_at) + REPLICATION_HORIZON + 1.0)
+    store.pump(mux.clock.now())
+    coordinator.txn_manager.collect_garbage()
+    if coordinator.snapshot_manager is not None:
+        coordinator.clock.advance(RETENTION_SECONDS + 1.0)
+        coordinator.snapshot_manager.reap()
+    coordinator.txn_manager.collect_garbage()
+    # GC's own deletes queue fresh tombstones; give them one more horizon
+    # to propagate before requiring empty queues.
+    mux.clock.advance(REPLICATION_HORIZON + 1.0)
+    store.pump(mux.clock.now())
+    if store.pending_count():
+        result.violations.append(
+            f"replication queues did not drain after heal: "
+            f"{store.pending_count()} entries pending"
+        )
+
+    # Invariant 1: every acknowledged commit survives, cold, on the new
+    # primary — zero committed-data loss within the replication horizon.
+    txn = coordinator.begin()
+    for (obj, p), data in sorted(expected.items()):
+        if coordinator.read_page(txn, obj, p) != data:
+            result.violations.append(
+                f"data loss: committed page {obj!r}/{p} lost in failover"
+            )
+    coordinator.rollback(txn)
+
+    # Invariants 2 and 3, across every region: nothing missing anywhere,
+    # the healed region's orphan leaks all drained.
+    report = StoreAuditor(coordinator).audit()
+    result.report = report
+    if report.missing or report.snapshot_missing:
+        result.violations.append("MISSING objects after failover")
+    if report.leaked:
+        result.violations.append(
+            f"failover episode leaked {len(report.leaked)} objects"
+        )
+    if report.region_missing:
+        result.violations.append(
+            f"regional data loss after heal: {len(report.region_missing)}"
+        )
+    if report.region_leaked or report.region_divergent:
+        result.violations.append(
+            "healed region did not reconcile: "
+            f"{len(report.region_leaked)} leaked, "
+            f"{len(report.region_divergent)} divergent"
+        )
+    if report.staleness_violations:
+        result.violations.append(
+            f"bounded staleness broken: {len(report.staleness_violations)}"
+        )
+    return result
+
+
+# ---------------------------------------------------------------------- #
 # exploration drivers
 # ---------------------------------------------------------------------- #
 
@@ -528,6 +712,10 @@ def run_episode(
 ) -> EpisodeResult:
     """Route a crash point to the episode that can actually traverse it."""
     if crash_point_name is not None:
+        if crash_point_name.startswith(("multiplex.failover.",
+                                        "replication.")):
+            return run_failover_episode(crash_point_name, seed=seed,
+                                        arm_skip=arm_skip)
         if crash_point_name.startswith("multiplex."):
             return run_multiplex_episode(crash_point_name, seed=seed,
                                          arm_skip=arm_skip)

@@ -401,10 +401,57 @@ def cmd_fsck(args: argparse.Namespace) -> int:
             print(f"  LEAKED  {name} {key:#x}")
         for name, key in report.missing[:10]:
             print(f"  MISSING {name} {key:#x}")
+    # The status line goes to stderr so `--json` keeps stdout pure for
+    # machine consumers (CI gates on the exit code + the `ok` key).
     if not report.ok():
-        print("fsck: store is NOT clean")
+        print("fsck: store is NOT clean", file=sys.stderr)
         return 1
-    print("fsck: store is clean")
+    print("fsck: store is clean", file=sys.stderr)
+    return 0
+
+
+def cmd_dr(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.bench.dr import DrillConfig, run_dr_drill
+
+    result = run_dr_drill(DrillConfig(
+        seed=args.seed,
+        mean_lag_seconds=args.lag,
+        staleness_horizon=args.horizon,
+        outage_seconds=args.outage,
+    ))
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(f"disaster-recovery drill (seed {args.seed}, mean lag "
+              f"{args.lag:g}s, staleness horizon {args.horizon:g}s)")
+        print(format_table(
+            ["clock (s)", "phase", "event"],
+            [[when, phase, text] for when, phase, text in result.events],
+        ))
+        print()
+        print(format_table(["measure", "value"], [
+            ["failover (s)", round(result.failover_seconds, 3)],
+            ["RTO: first query on new primary (s)",
+             round(result.rto_seconds, 3)],
+            ["RPO: acknowledged writes (s)",
+             result.rpo_acknowledged_seconds],
+            ["RPO bound: staleness horizon (s)", result.rpo_bound_seconds],
+            ["worst observed replication lag (s)",
+             round(result.max_observed_lag_seconds, 3)],
+            ["entries drained at promotion", result.drained_entries],
+            ["fsck across regions", "clean" if result.audit_ok else "DIRTY"],
+            ["cross-region restore", "ok" if result.restore_ok else "FAILED"],
+        ]))
+    if not result.ok:
+        for violation in result.violations:
+            print(f"dr: {violation}", file=sys.stderr)
+        print("dr: the drill violated its recovery invariants",
+              file=sys.stderr)
+        return 1
+    print("dr: outage -> failover -> heal -> fsck -> restore all clean",
+          file=sys.stderr)
     return 0
 
 
@@ -531,6 +578,21 @@ def build_parser() -> argparse.ArgumentParser:
     fsck.add_argument("--json", action="store_true",
                       help="print the machine-readable audit report")
 
+    dr = sub.add_parser(
+        "dr",
+        help="disaster-recovery drill: region outage, failover, heal, "
+             "fsck, cross-region restore",
+    )
+    dr.add_argument("--seed", type=int, default=0)
+    dr.add_argument("--lag", type=float, default=0.5,
+                    help="mean replication lag in virtual seconds")
+    dr.add_argument("--horizon", type=float, default=30.0,
+                    help="bounded-staleness horizon in virtual seconds")
+    dr.add_argument("--outage", type=float, default=60.0,
+                    help="primary-region outage length in virtual seconds")
+    dr.add_argument("--json", action="store_true",
+                    help="print the machine-readable drill result")
+
     crashtest = sub.add_parser(
         "crashtest",
         help="systematically crash at registered points and verify recovery",
@@ -559,6 +621,7 @@ def main(argv: "Optional[List[str]]" = None) -> int:
         "trace": cmd_trace,
         "report": cmd_report,
         "fsck": cmd_fsck,
+        "dr": cmd_dr,
         "crashtest": cmd_crashtest,
     }
     return handlers[args.command](args)

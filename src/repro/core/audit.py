@@ -31,6 +31,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
 
+from repro.objectstore.replicated import ReplicatedObjectStore
 from repro.storage.blockmap import Blockmap
 from repro.storage.dbspace import CloudDbspace
 from repro.storage.keys import object_key_from_name
@@ -94,10 +95,36 @@ class AuditReport:
     already_freed: int = 0
     # Bucket names that do not parse as page objects (foreign objects).
     unparseable: "List[str]" = field(default_factory=list)
+    # Multi-region convergence (empty/zero on single-region stores):
+    # regions audited against the primary's ground truth.
+    regions_audited: "List[str]" = field(default_factory=list)
+    # (region, key) — object the primary holds, absent from the region,
+    # with no queued replication entry covering it: regional data loss.
+    region_missing: "List[Tuple[str, int]]" = field(default_factory=list)
+    # (region, key) — object present in the region, gone from the
+    # primary, with no queued tombstone: a regional orphan.
+    region_leaked: "List[Tuple[str, int]]" = field(default_factory=list)
+    # (region, key) — region holds different bytes than the primary and
+    # no queued entry explains it.
+    region_divergent: "List[Tuple[str, int]]" = field(default_factory=list)
+    # Queued entries explaining a divergence (benign: replication in
+    # flight, or deferred by an outage on the target region).
+    region_pending: int = 0
+    # (region, key) — queued entries that outlived the staleness horizon
+    # without being outage-deferred: the bounded-staleness guarantee broke.
+    staleness_violations: "List[Tuple[str, int]]" = field(default_factory=list)
 
     def ok(self) -> bool:
-        """No leaks, no data loss."""
-        return not (self.leaked or self.missing or self.snapshot_missing)
+        """No leaks, no data loss, every region convergent-or-pending."""
+        return not (
+            self.leaked
+            or self.missing
+            or self.snapshot_missing
+            or self.region_missing
+            or self.region_leaked
+            or self.region_divergent
+            or self.staleness_violations
+        )
 
     def to_dict(self) -> "Dict[str, object]":
         return {
@@ -114,6 +141,16 @@ class AuditReport:
             ],
             "already_freed": self.already_freed,
             "unparseable": list(self.unparseable),
+            "regions_audited": list(self.regions_audited),
+            "region_missing": [[r, key] for r, key in self.region_missing],
+            "region_leaked": [[r, key] for r, key in self.region_leaked],
+            "region_divergent": [
+                [r, key] for r, key in self.region_divergent
+            ],
+            "region_pending": self.region_pending,
+            "staleness_violations": [
+                [r, key] for r, key in self.staleness_violations
+            ],
         }
 
 
@@ -287,4 +324,63 @@ class StoreAuditor:
             report.already_freed += len(
                 (retained_keys | chain_keys) - present - live_keys - snap_keys
             )
+            if isinstance(store, ReplicatedObjectStore):
+                self._audit_regions(store, report)
         return report
+
+    def _audit_regions(self, store: ReplicatedObjectStore,
+                       report: AuditReport) -> None:
+        """Audit every secondary region against the primary ground truth.
+
+        Convergence is judged *modulo the replication queue*: a
+        divergence explained by a queued entry (replication in flight, or
+        deferred by an outage on the target region) is benign pending;
+        anything unexplained is regional loss/leak/divergence.  On top of
+        convergence, the bounded-staleness invariant is checked: no
+        queued entry may outlive ``op_time + staleness_horizon`` unless
+        outage-deferred.
+        """
+        now = self.db.clock.now()
+        store.pump(now)
+        horizon = store.config.staleness_horizon
+        primary = store.primary
+
+        def key_of(name: str) -> "Optional[int]":
+            try:
+                return object_key_from_name(name)
+            except ValueError:
+                return None
+
+        for region in store.secondary_regions():
+            report.regions_audited.append(region)
+            regional = store.store_for(region)
+            pending = {e.key: e for e in store.pending_for(region)}
+            report.region_pending += len(pending)
+            primary_names = set(primary.all_keys())
+            region_names = set(regional.all_keys())
+            for name in sorted(primary_names - region_names):
+                key = key_of(name)
+                if key is None:
+                    continue
+                entry = pending.get(name)
+                if entry is None or entry.data is None:
+                    report.region_missing.append((region, key))
+            for name in sorted(region_names - primary_names):
+                key = key_of(name)
+                if key is None:
+                    continue
+                entry = pending.get(name)
+                if entry is None or entry.data is not None:
+                    report.region_leaked.append((region, key))
+            for name in sorted(primary_names & region_names):
+                key = key_of(name)
+                if key is None or name in pending:
+                    continue
+                if primary.latest_data(name) != regional.latest_data(name):
+                    report.region_divergent.append((region, key))
+            for name, entry in sorted(pending.items()):
+                key = key_of(name)
+                if key is None or entry.deferred:
+                    continue
+                if now > entry.op_time + horizon:
+                    report.staleness_violations.append((region, key))

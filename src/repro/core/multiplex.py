@@ -31,7 +31,8 @@ from repro.core.txn import Transaction, TransactionError
 from repro.engine import Database, DatabaseConfig, NodeRuntime, SYSTEM_DBSPACE, USER_DBSPACE
 from repro.blockstore.profiles import nvme_ssd
 from repro.objectstore.client import RetryingObjectClient
-from repro.objectstore.faults import FaultSchedule, OutageWindow
+from repro.objectstore.faults import FaultSchedule, OutageWindow, RegionOutage
+from repro.objectstore.replicated import ReplicatedObjectStore
 from repro.sim.cpu import CpuModel
 from repro.sim.crashpoints import (
     SimulatedCrash,
@@ -52,6 +53,20 @@ CP_RESTART_GC_BEFORE_POLL = register_crash_point(
 CP_RESTART_GC_MID_POLL = register_crash_point(
     "multiplex.restart_gc.mid_poll",
     "coordinator crashed between polling two of a node's orphaned keys",
+)
+CP_FAILOVER_BEFORE_FENCE = register_crash_point(
+    "multiplex.failover.before_fence",
+    "region failover decided on a target but has not fenced in-flight "
+    "writes yet",
+)
+CP_FAILOVER_BEFORE_PROMOTE = register_crash_point(
+    "multiplex.failover.before_promote",
+    "in-flight writes fenced, the secondary region not yet promoted",
+)
+CP_FAILOVER_AFTER_PROMOTE = register_crash_point(
+    "multiplex.failover.after_promote",
+    "the secondary region was promoted but the failover has not been "
+    "acknowledged to callers",
 )
 
 
@@ -391,6 +406,74 @@ class Multiplex:
             store.fault_schedule = FaultSchedule(name="injected")
         store.fault_schedule.add(event)
         return event
+
+    def _replicated_store(self) -> ReplicatedObjectStore:
+        store = self.coordinator.object_store
+        if not isinstance(store, ReplicatedObjectStore):
+            raise MultiplexError(
+                "region operations require a replicated object store "
+                "(DatabaseConfig.replication)"
+            )
+        return store
+
+    def inject_region_outage(self, region: str, window) -> RegionOutage:
+        """Take a whole region away for a virtual-time window.
+
+        ``window`` is ``(start, end)`` in virtual seconds.  Every request
+        against the region's store fails while active, and the
+        replication pump defers queued applies into the region until the
+        window ends — the scenario the DR workflow (DESIGN.md §12)
+        recovers from.
+        """
+        store = self._replicated_store()
+        if region not in store.regions:
+            raise MultiplexError(f"no region named {region!r}")
+        start, end = window
+        event = RegionOutage(start, end, region=region)
+        store.ensure_fault_schedule().add(event)
+        return event
+
+    def region_failover(self, to_region: "Optional[str]" = None) -> str:
+        """Promote a secondary region to primary (DESIGN.md §12).
+
+        Sequence: pick a live target, fence every accepted-but-unsettled
+        write via ``write_horizon()`` (which spans all regions *and* the
+        replication queues, so a healed region's in-flight puts cannot
+        outrun later tombstones), then drain the target's replication
+        queue and flip the primary.  Each step is idempotent, so a crash
+        at any of the three failover crash points is survivable by
+        re-running the failover with the same target.  Returns the new
+        primary region.
+        """
+        store = self._replicated_store()
+        now = self.clock.now()
+        if to_region is None:
+            schedule = store.fault_schedule
+            for region in store.secondary_regions():
+                if schedule is not None and schedule.decide(
+                    "put", None, None, now, region
+                ).outage:
+                    continue
+                to_region = region
+                break
+            if to_region is None:
+                raise MultiplexError(
+                    "no live secondary region to fail over to"
+                )
+        elif to_region not in store.regions:
+            raise MultiplexError(f"no region named {to_region!r}")
+        crash_point(CP_FAILOVER_BEFORE_FENCE)
+        user = self.coordinator.user_dbspace
+        if isinstance(user, CloudDbspace):
+            self.coordinator._fence_in_flight_writes([user])
+        crash_point(CP_FAILOVER_BEFORE_PROMOTE)
+        drained = store.promote(to_region, self.clock.now())
+        self.coordinator.metrics.counter("region_failovers").increment()
+        self.coordinator.metrics.counter(
+            "region_failover_drained_entries"
+        ).increment(drained)
+        crash_point(CP_FAILOVER_AFTER_PROMOTE)
+        return to_region
 
     def coordinator_crash_and_recover(self) -> None:
         """Crash and recover the coordinator (Table 1, clocks 110-120).

@@ -38,6 +38,7 @@ from repro.objectstore.client import (
 )
 from repro.objectstore.consistency import ConsistencyModel, EVENTUAL
 from repro.objectstore.faults import FaultSchedule
+from repro.objectstore.replicated import ReplicationConfig, build_replicated_store
 from repro.objectstore.s3sim import ObjectStoreProfile, S3_PROFILE, SimulatedObjectStore
 from repro.sim.clock import VirtualClock
 from repro.sim.cpu import CpuModel
@@ -162,6 +163,10 @@ class DatabaseConfig:
     hedge: "Optional[HedgePolicy]" = None
     # scripted fault injection against the user object store
     fault_schedule: "Optional[FaultSchedule]" = None
+    # multi-region replication of the user object store (None = single
+    # region, preserving baseline behaviour byte-for-byte; see
+    # DESIGN.md §12 for the DR story this enables)
+    replication: "Optional[ReplicationConfig]" = None
     # page encryption: with a key, the OCM cache and the objects at rest
     # hold ciphertext only (Section 4)
     encryption_key: "Optional[bytes]" = None
@@ -433,6 +438,14 @@ class Database:
                 meter=self.meter,
                 fault_schedule=cfg.fault_schedule,
             )
+            if cfg.replication is not None:
+                # The single-region store becomes the primary region of a
+                # replicated store; its RNG substreams and request path
+                # are untouched, so the default path stays byte-identical
+                # and replication only adds secondaries around it.
+                self.object_store = build_replicated_store(
+                    cfg.replication, self.object_store, self.rng
+                )
             self.object_client = RetryingObjectClient(
                 self.object_store,
                 policy=cfg.retry,

@@ -31,11 +31,19 @@ from repro.objectstore.faults import (
     LatencySpike,
     NAMED_SCHEDULES,
     OutageWindow,
+    RegionOutage,
     ThrottleStorm,
     canonical_storm,
     named_schedule,
 )
 from repro.objectstore.s3sim import ObjectStoreProfile, SimulatedObjectStore, S3_PROFILE
+from repro.objectstore.replicated import (
+    ReplicatedObjectStore,
+    ReplicationConfig,
+    ReplicationEntry,
+    StalenessViolation,
+    build_replicated_store,
+)
 from repro.objectstore.client import (
     CircuitBreaker,
     CircuitBreakerConfig,
@@ -61,6 +69,12 @@ __all__ = [
     "FaultEvent",
     "FaultSchedule",
     "OutageWindow",
+    "RegionOutage",
+    "ReplicatedObjectStore",
+    "ReplicationConfig",
+    "ReplicationEntry",
+    "StalenessViolation",
+    "build_replicated_store",
     "ErrorStorm",
     "LatencySpike",
     "ThrottleStorm",

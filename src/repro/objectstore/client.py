@@ -170,14 +170,18 @@ class CircuitBreaker:
     HALF_OPEN = "half_open"
 
     def __init__(self, config: CircuitBreakerConfig,
-                 metrics: MetricsRegistry) -> None:
+                 metrics: MetricsRegistry, suffix: str = "") -> None:
         self.config = config
         self.metrics = metrics
+        # Region label: breakers scoped to one backing region record
+        # under ``breaker_*:{region}`` so a dead region's breaker history
+        # never conflates with a healthy failover target's.
+        self.suffix = suffix
         self._state = self.CLOSED
         self._consecutive_failures = 0
         self._opened_at = 0.0
         self._half_open_successes = 0
-        self.metrics.gauge("breaker_state").set(0.0)
+        self.metrics.gauge(f"breaker_state{suffix}").set(0.0)
 
     @property
     def consecutive_failures(self) -> int:
@@ -200,7 +204,9 @@ class CircuitBreaker:
         """Fail fast with :class:`CircuitOpenError` while open."""
         state = self.state_at(now)
         if state == self.OPEN:
-            self.metrics.counter("breaker_fast_failures").increment()
+            self.metrics.counter(
+                f"breaker_fast_failures{self.suffix}"
+            ).increment()
             raise CircuitOpenError(key, self.retry_at())
         if state == self.HALF_OPEN and self._state == self.OPEN:
             # The cool-down elapsed; this request is the half-open probe.
@@ -231,15 +237,17 @@ class CircuitBreaker:
         self._state = state
         if state == self.OPEN:
             self._opened_at = now
-            self.metrics.counter("breaker_opened").increment()
+            self.metrics.counter(f"breaker_opened{self.suffix}").increment()
         elif state == self.HALF_OPEN:
             self._half_open_successes = 0
-            self.metrics.counter("breaker_half_open").increment()
+            self.metrics.counter(f"breaker_half_open{self.suffix}").increment()
         else:
             self._consecutive_failures = 0
-            self.metrics.counter("breaker_closed").increment()
-        self.metrics.gauge("breaker_state").set(_STATE_CODES[state])
-        self.metrics.series("breaker_transitions").record(
+            self.metrics.counter(f"breaker_closed{self.suffix}").increment()
+        self.metrics.gauge(f"breaker_state{self.suffix}").set(
+            _STATE_CODES[state]
+        )
+        self.metrics.series(f"breaker_transitions{self.suffix}").record(
             now, _STATE_CODES[state]
         )
 
@@ -286,9 +294,17 @@ class RetryingObjectClient:
         self.metrics = MetricsRegistry()
         self.tracer = NULL_TRACER
         self.hedge = hedge
-        self.breaker: "Optional[CircuitBreaker]" = (
-            CircuitBreaker(breaker, self.metrics) if breaker is not None else None
-        )
+        # Breaker and hedged-GET latency state are scoped per backing
+        # region: a replicated store changes its ``primary_region`` on
+        # failover, and a breaker opened by a dead region must not fail
+        # fast against the healthy region it failed over to (nor should
+        # the dead region's latency tail drive the new region's hedges).
+        # Single-region stores map to the ``None`` region with the exact
+        # legacy metric names.
+        self._breaker_config = breaker
+        self._breakers: "Dict[Optional[str], CircuitBreaker]" = {}
+        if breaker is not None:
+            self.breaker  # eagerly create the current region's breaker
         self._rng = rng or DeterministicRng(
             0, f"object-client/{node_id or 'default'}"
         )
@@ -298,6 +314,39 @@ class RetryingObjectClient:
     @property
     def clock(self):
         return self.store.clock
+
+    def _region(self) -> "Optional[str]":
+        """The backing region requests currently land in."""
+        region = getattr(self.store, "primary_region", None)
+        if region is not None:
+            return region
+        return getattr(self.store, "region", None)
+
+    def _suffix(self) -> str:
+        region = self._region()
+        return "" if region is None else f":{region}"
+
+    def _bump(self, name: str, amount: int = 1) -> None:
+        """Increment a counter, plus its region-labelled twin if any."""
+        self.metrics.counter(name).increment(amount)
+        region = self._region()
+        if region is not None:
+            self.metrics.counter(f"{name}:{region}").increment(amount)
+
+    @property
+    def breaker(self) -> "Optional[CircuitBreaker]":
+        """The circuit breaker for the *current* backing region."""
+        if self._breaker_config is None:
+            return None
+        region = self._region()
+        breaker = self._breakers.get(region)
+        if breaker is None:
+            breaker = CircuitBreaker(
+                self._breaker_config, self.metrics,
+                suffix="" if region is None else f":{region}",
+            )
+            self._breakers[region] = breaker
+        return breaker
 
     def breaker_state(self, now: "Optional[float]" = None) -> str:
         """Effective breaker state ("closed" when no breaker configured)."""
@@ -362,7 +411,7 @@ class RetryingObjectClient:
                 except TransientRequestError as error:
                     failed_at = error.failed_at  # type: ignore[attr-defined]
                     self._note_failure(failed_at)
-                    self.metrics.counter("put_retries").increment()
+                    self._bump("put_retries")
                     previous = self._next_backoff(attempt, previous)
                     when = failed_at + previous
                     self.tracer.record("backoff", "retry", failed_at, when,
@@ -380,9 +429,18 @@ class RetryingObjectClient:
             if span is not None:
                 self.tracer.finish(span, end=when, error="failed")
 
+    def _latency_histogram(self):
+        """Observed GET latencies for the current backing region.
+
+        Hedge delays derive from this histogram, so each region's tail is
+        tracked separately — after failover, the new primary's hedges are
+        driven by its own latency history, not the dead region's.
+        """
+        return self.metrics.histogram(f"get_latency{self._suffix()}")
+
     def _hedge_delay(self) -> float:
         assert self.hedge is not None
-        latencies = self.metrics.histogram("get_latency")
+        latencies = self._latency_histogram()
         if latencies.count >= self.hedge.min_samples:
             return max(latencies.percentile(self.hedge.quantile), 1e-9)
         return self.hedge.initial_delay
@@ -391,7 +449,7 @@ class RetryingObjectClient:
         self, key: str, when: float
     ) -> "Tuple[Optional[bytes], float]":
         """One (possibly hedged) GET attempt against the store."""
-        latencies = self.metrics.histogram("get_latency")
+        latencies = self._latency_histogram()
         if self.hedge is None:
             data, done = self.store.try_get_at(key, when,
                                                bandwidth=self.bandwidth,
@@ -415,7 +473,7 @@ class RetryingObjectClient:
             return data, done
         # The primary response would land past the hedge delay: fire the
         # hedge and take whichever completion comes first.
-        self.metrics.counter("hedged_gets").increment()
+        self._bump("hedged_gets")
         try:
             hedge_data, hedge_done = self.store.try_get_at(
                 key, when + delay, bandwidth=self.bandwidth, node=self.node_id
@@ -426,7 +484,7 @@ class RetryingObjectClient:
             latencies.observe(done - when)
             return data, done
         if primary_error is not None or hedge_done < done:
-            self.metrics.counter("hedge_wins").increment()
+            self._bump("hedge_wins")
             latencies.observe(hedge_done - when)
             return hedge_data, hedge_done
         latencies.observe(done - when)
@@ -445,7 +503,7 @@ class RetryingObjectClient:
                 except TransientRequestError as error:
                     failed_at = error.failed_at  # type: ignore[attr-defined]
                     self._note_failure(failed_at)
-                    self.metrics.counter("get_retries").increment()
+                    self._bump("get_retries")
                     previous = self._next_backoff(attempt, previous)
                     when = failed_at + previous
                     self.tracer.record("backoff", "retry", failed_at, when,
@@ -458,7 +516,7 @@ class RetryingObjectClient:
                                        nbytes=len(data))
                     span = None
                     return data, done
-                self.metrics.counter("not_found_retries").increment()
+                self._bump("not_found_retries")
                 previous = self._next_backoff(attempt, previous)
                 when = done + previous
                 self.tracer.record("backoff", "retry", done, when,
@@ -484,7 +542,7 @@ class RetryingObjectClient:
                 except TransientRequestError as error:
                     failed_at = error.failed_at  # type: ignore[attr-defined]
                     self._note_failure(failed_at)
-                    self.metrics.counter("delete_retries").increment()
+                    self._bump("delete_retries")
                     previous = self._next_backoff(attempt, previous)
                     when = failed_at + previous
                     self.tracer.record("backoff", "retry", failed_at, when,
@@ -514,7 +572,7 @@ class RetryingObjectClient:
                 except TransientRequestError as error:
                     failed_at = error.failed_at  # type: ignore[attr-defined]
                     self._note_failure(failed_at)
-                    self.metrics.counter("head_retries").increment()
+                    self._bump("head_retries")
                     previous = self._next_backoff(attempt, previous)
                     when = failed_at + previous
                     self.tracer.record("backoff", "retry", failed_at, when,
@@ -659,7 +717,7 @@ class RetryingObjectClient:
                 except TransientRequestError as error:
                     failed_at = error.failed_at  # type: ignore[attr-defined]
                     self._note_failure(failed_at)
-                    self.metrics.counter("get_retries").increment()
+                    self._bump("get_retries")
                     previous = self._next_backoff(attempt, previous)
                     when = failed_at + previous
                     self.tracer.record("backoff", "retry", failed_at, when,
@@ -719,8 +777,8 @@ class RetryingObjectClient:
                 except TransientRequestError as error:
                     failed_at = error.failed_at  # type: ignore[attr-defined]
                     self._note_failure(failed_at)
-                    self.metrics.counter("put_retries").increment()
-                    self.metrics.counter("put_range_retries").increment()
+                    self._bump("put_retries")
+                    self._bump("put_range_retries")
                     previous = self._next_backoff(attempt, previous)
                     when = failed_at + previous
                     self.tracer.record("backoff", "retry", failed_at, when,

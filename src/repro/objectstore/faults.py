@@ -18,10 +18,15 @@ clock:
   tokens).
 
 Events scope *globally* by default, or narrow to an operation subset
-(``put``/``get``/``delete``/``head``), a key prefix, or a node id (the
+(``put``/``get``/``delete``/``head``), a key prefix, a node id (the
 :class:`~repro.objectstore.client.RetryingObjectClient` of each multiplex
-node tags its requests) — so "the secondary lost the bucket while the
-coordinator kept it" is one event.
+node tags its requests), or a *region* (each per-region store of a
+:class:`~repro.objectstore.replicated.ReplicatedObjectStore` carries its
+region identity) — so "the secondary lost the bucket while the
+coordinator kept it" or "us-east-1 went away" is one event.
+:class:`RegionOutage` is the canonical region-scoped event: every request
+against the region fails while it is active, and the replication pump
+defers queued applies into the region until it lifts.
 
 Overlapping events compose: any active outage wins, error-storm
 probabilities combine to the maximum, latency multipliers multiply, and
@@ -51,13 +56,14 @@ def _normalize_ops(ops) -> "Optional[Tuple[str, ...]]":
 
 @dataclass(frozen=True)
 class FaultEvent:
-    """A timed fault scoped by operation set, key prefix and/or node."""
+    """A timed fault scoped by operation set, key prefix, node and/or region."""
 
     start: float
     end: float
     ops: "Optional[Tuple[str, ...]]" = None  # None = every operation
     prefix: "Optional[str]" = None           # None = every key
     node: "Optional[str]" = None             # None = every node
+    region: "Optional[str]" = None           # None = every region
 
     def __post_init__(self) -> None:
         if self.end <= self.start:
@@ -67,7 +73,7 @@ class FaultEvent:
         object.__setattr__(self, "ops", _normalize_ops(self.ops))
 
     def matches(self, op: str, key: "Optional[str]", node: "Optional[str]",
-                now: float) -> bool:
+                now: float, region: "Optional[str]" = None) -> bool:
         if not self.start <= now < self.end:
             return False
         if self.ops is not None and op not in self.ops:
@@ -76,12 +82,30 @@ class FaultEvent:
             return False
         if self.node is not None and node != self.node:
             return False
+        if self.region is not None and region != self.region:
+            return False
         return True
 
 
 @dataclass(frozen=True)
 class OutageWindow(FaultEvent):
     """A hard outage: every matching request fails while active."""
+
+
+@dataclass(frozen=True)
+class RegionOutage(OutageWindow):
+    """A whole-region outage: every request against ``region`` fails.
+
+    Subclassing :class:`OutageWindow` means the schedule's ``decide``
+    composition treats it as a hard outage automatically.  ``region`` is
+    required — a region outage without a region would be a global outage,
+    which :class:`OutageWindow` already spells.
+    """
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.region is None:
+            raise ValueError("RegionOutage requires a region")
 
 
 @dataclass(frozen=True)
@@ -183,14 +207,14 @@ class FaultSchedule:
         return max((e.end for e in self._events), default=0.0)
 
     def decide(self, op: str, key: "Optional[str]", node: "Optional[str]",
-               now: float) -> FaultDecision:
+               now: float, region: "Optional[str]" = None) -> FaultDecision:
         """Combine every matching event into one prescription."""
         outage = False
         probability = 0.0
         multiplier = 1.0
         throttle = 1.0
         for event in self._events:
-            if not event.matches(op, key, node, now):
+            if not event.matches(op, key, node, now, region):
                 continue
             if isinstance(event, OutageWindow):
                 outage = True

@@ -101,10 +101,12 @@ class SimulatedObjectStore(ObjectStore):
         bandwidth: Optional[Pipe] = None,
         meter: Optional[CostMeter] = None,
         fault_schedule: "Optional[FaultSchedule]" = None,
+        region: "Optional[str]" = None,
     ) -> None:
         self.profile = profile
         self.clock = clock or VirtualClock()
         self.fault_schedule = fault_schedule
+        self.region = region
         self._rng = rng or DeterministicRng(0, f"objectstore/{profile.name}")
         self._lag_rng = self._rng.substream("visibility")
         self._jitter_rng = self._rng.substream("jitter")
@@ -166,7 +168,7 @@ class SimulatedObjectStore(ObjectStore):
                           node: "Optional[str]") -> FaultDecision:
         if self.fault_schedule is None:
             return NO_FAULT
-        decision = self.fault_schedule.decide(op, key, node, now)
+        decision = self.fault_schedule.decide(op, key, node, now, self.region)
         if decision.throttle_factor != 1.0:
             self.metrics.counter("fault_throttled_requests").increment()
         if decision.latency_multiplier != 1.0:
