@@ -9,6 +9,8 @@ Commands:
 - ``chaos`` — run a named fault schedule against a live engine and report
   resilience metrics (breaker transitions, hedges, degraded reads) plus a
   committed-data durability check,
+- ``load`` — multi-tenant load run on the session scheduler: arrival
+  ramps, per-tenant latency SLOs, and a saturation curve,
 - ``trace`` — run a workload with end-to-end tracing enabled, export the
   span tree as Chrome-trace JSON (loadable in ``about://tracing`` /
   Perfetto) and print a flamegraph-style attribution report,
@@ -107,12 +109,18 @@ def cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+_CHAOS_REGION_NAMES = (
+    "us-east-1", "us-west-2", "eu-west-1", "ap-southeast-1", "sa-east-1",
+)
+
+
 def run_chaos_scenario(
     schedule_name: str = "storm",
     seed: int = 0,
     start: float = 5.0,
     pages: int = 6,
     settle: float = 5.0,
+    regions: int = 1,
 ) -> "Dict[str, object]":
     """Drive an engine through a named fault schedule; return the evidence.
 
@@ -134,7 +142,16 @@ def run_chaos_scenario(
         RetriesExhaustedError,
     )
     from repro.objectstore.faults import named_schedule
+    from repro.objectstore.replicated import ReplicationConfig
 
+    if not 1 <= regions <= len(_CHAOS_REGION_NAMES):
+        raise ValueError(
+            f"regions must be in [1, {len(_CHAOS_REGION_NAMES)}]"
+        )
+    replication = (
+        ReplicationConfig(regions=_CHAOS_REGION_NAMES[:regions])
+        if regions > 1 else None
+    )
     schedule = named_schedule(schedule_name, start=start)
     db = Database(DatabaseConfig(
         seed=seed,
@@ -142,6 +159,7 @@ def run_chaos_scenario(
         ocm_capacity_bytes=32 << 20,
         page_size=16 * 1024,
         fault_schedule=schedule,
+        replication=replication,
         breaker=CircuitBreakerConfig(failure_threshold=3, reset_timeout=2.0),
         hedge=HedgePolicy(),
         retry=RetryPolicy(max_attempts=60, initial_backoff=0.05,
@@ -211,6 +229,20 @@ def run_chaos_scenario(
         if db.read_page(reader, "t", page) != payload:
             mismatches += 1
     db.commit(reader)
+    # GET latencies live in a labeled family: the resilient client records
+    # under plain `get_latency` against a single-region store but under
+    # `get_latency:{region}` when replication is on.  Aggregate the whole
+    # family — reading only the unlabeled name reports 0.0 for replicated
+    # runs.
+    from repro.sim.metrics import labeled_histograms, merged_histogram
+
+    client_metrics = db.object_client.metrics
+    p99_by_region = {
+        label or "(unlabeled)": histogram.percentile(99.0)
+        for label, histogram in
+        labeled_histograms(client_metrics, "get_latency").items()
+        if histogram.count
+    }
     return {
         "schedule": schedule_name,
         "seed": seed,
@@ -227,8 +259,10 @@ def run_chaos_scenario(
             db.object_client.metrics.series("breaker_transitions").samples
         ),
         "p99_get_latency": (
-            db.object_client.metrics.histogram("get_latency").percentile(99.0)
+            merged_histogram(client_metrics, "get_latency").percentile(99.0)
         ),
+        "p99_get_latency_by_region": p99_by_region,
+        "regions": regions,
         "virtual_seconds": db.clock.now(),
     }
 
@@ -239,6 +273,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         seed=args.seed,
         start=args.start,
         pages=args.pages,
+        regions=args.regions,
     )
     client = result["client_metrics"]
     store = result["store_metrics"]
@@ -269,6 +304,8 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         ["degraded queued writes", ocm.get("degraded_queued_writes", 0)],
         ["p99 GET latency (s)", result["p99_get_latency"]],
     ]
+    for region, p99 in sorted(result["p99_get_latency_by_region"].items()):
+        rows.append([f"p99 GET latency [{region}] (s)", p99])
     print(f"chaos schedule {result['schedule']!r} (seed {result['seed']})")
     print(format_table(["metric", "value"], rows))
     if result["mismatches"]:
@@ -276,6 +313,79 @@ def cmd_chaos(args: argparse.Namespace) -> int:
               "pages did not read back intact")
         return 1
     print("all committed data read back byte-identical after recovery")
+    return 0
+
+
+def cmd_load(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.bench.load import LoadConfig, LoadHarness
+
+    harness = LoadHarness(LoadConfig(
+        sessions=args.sessions,
+        seed=args.seed,
+        profile=args.profile,
+        arrival_rate=args.rate,
+        stages=args.stages,
+        admission_limit=args.admission,
+        scale_factor=args.scale_factor,
+        instance_type=args.instance,
+    ))
+    summary = harness.run()
+    if args.json:
+        # Stdout stays pure JSON for machine consumers (the CI smoke job
+        # diffs two runs byte-for-byte); the status line goes to stderr.
+        print(json.dumps(summary, indent=2, sort_keys=True))
+        print(f"load: {summary['ops']['completed']} ops in "
+              f"{summary['clock_seconds']:g} virtual seconds "
+              f"({harness.wall_seconds:.1f}s wall)", file=sys.stderr)
+        return 0
+    print(f"load run: {args.sessions} sessions, profile {args.profile!r}, "
+          f"seed {args.seed} ({args.instance}, SF {args.scale_factor})")
+    print(f"  {summary['ops']['completed']} ops completed, "
+          f"{summary['ops']['failed']} failed, "
+          f"{summary['clock_seconds']:g} virtual seconds, "
+          f"{summary['scheduler']['handoffs']} scheduler handoffs "
+          f"({harness.wall_seconds:.1f}s wall)")
+    print()
+    tenant_rows = []
+    for name, tenant in summary["tenants"].items():
+        tail = tenant["latency_seconds"]
+        attainment = tenant["slo_attainment"]
+        tenant_rows.append([
+            name, tenant["sessions"], tenant["ops"],
+            tail["p50"], tail["p95"], tail["p99"],
+            f"{attainment:.1%}" if attainment is not None else "-",
+        ])
+    print(format_table(
+        ["tenant", "sessions", "ops", "p50 (s)", "p95 (s)", "p99 (s)",
+         "SLO attainment"],
+        tenant_rows,
+    ))
+    print()
+    stage_rows = []
+    for point in summary["saturation"]:
+        tail = point["latency_seconds"]
+        offered = point["offered_sessions_per_second"]
+        realized = point["realized_arrival_rate"]
+        stage_rows.append([
+            point["stage"], point["sessions"],
+            offered if offered is not None else "closed",
+            realized if realized is not None else "-", point["ops"],
+            tail["p50"], tail["p99"],
+        ])
+    print(format_table(
+        ["stage", "sessions", "offered /s", "realized /s", "ops",
+         "p50 (s)", "p99 (s)"],
+        stage_rows,
+    ))
+    if summary["admission"] is not None:
+        admission = summary["admission"]
+        print()
+        print(f"admission: limit {admission['limit']}, "
+              f"{admission['waits']} waits "
+              f"(p95 wait {admission['wait_seconds']['p95']:g}s), "
+              f"by tenant {admission['waits_by_tenant']}")
     return 0
 
 
@@ -546,6 +656,31 @@ def build_parser() -> argparse.ArgumentParser:
                        help="virtual time at which the schedule begins")
     chaos.add_argument("--pages", type=int, default=6,
                        help="pages written per committed generation")
+    chaos.add_argument("--regions", type=int, default=1,
+                       help="object-store regions (>1 turns on replication)")
+
+    load = sub.add_parser(
+        "load",
+        help="multi-tenant load run on the session scheduler: arrival "
+             "ramps, tenant SLOs, saturation curve",
+    )
+    load.add_argument("--sessions", type=int, default=200,
+                      help="logical client sessions to run")
+    load.add_argument("--seed", type=int, default=0)
+    load.add_argument("--profile", default="poisson",
+                      choices=["poisson", "bursty", "closed"],
+                      help="arrival process (closed = all present at t=0)")
+    load.add_argument("--rate", type=float, default=40.0,
+                      help="stage-1 session arrivals per virtual second")
+    load.add_argument("--stages", type=int, default=3,
+                      help="ramp stages; stage s offers s× the base rate")
+    load.add_argument("--admission", type=int, default=0,
+                      help="max concurrent in-engine ops (0 = unlimited)")
+    load.add_argument("--scale-factor", type=float, default=0.002)
+    load.add_argument("--instance", default="m5ad.4xlarge")
+    load.add_argument("--json", action="store_true",
+                      help="print the machine-readable summary (stdout is "
+                           "pure JSON; deterministic for a given config)")
 
     trace = sub.add_parser(
         "trace",
@@ -618,6 +753,7 @@ def main(argv: "Optional[List[str]]" = None) -> int:
         "compare": cmd_compare,
         "table1": cmd_table1,
         "chaos": cmd_chaos,
+        "load": cmd_load,
         "trace": cmd_trace,
         "report": cmd_report,
         "fsck": cmd_fsck,

@@ -325,6 +325,33 @@ class Multiplex:
     def clock(self):
         return self.coordinator.clock
 
+    def new_session_scheduler(self):
+        """A session scheduler over the cluster's shared clock.
+
+        Every node — the coordinator and all secondaries — charges the
+        same clock, so sessions spawned against *different* nodes
+        interleave on one timeline: a reader node's scan overlaps a
+        writer node's commit exactly as the shared-storage multiplex
+        intends, with contention emerging from the shared object store's
+        token buckets and each node's own NIC/SSD pipes.
+        """
+        return self.coordinator.new_session_scheduler()
+
+    def session_targets(self, include_coordinator: bool = True) -> "List[object]":
+        """Round-robin-able session endpoints: coordinator + secondaries.
+
+        Any returned object supports ``begin/commit/rollback``,
+        ``open_for_read``, ``read_page``/``write_page`` (writers), a
+        ``buffer`` and a ``cpu`` — the session-protocol surface
+        :class:`~repro.columnar.query.QueryContext` and the load harness
+        program against.
+        """
+        targets: "List[object]" = (
+            [self.coordinator] if include_coordinator else []
+        )
+        targets.extend(self.nodes.values())
+        return targets
+
     def node(self, node_id: str) -> SecondaryNode:
         try:
             return self.nodes[node_id]

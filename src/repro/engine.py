@@ -399,6 +399,23 @@ class Database:
         self.checkpoint()
         self.attach_tracer(self.tracer)
 
+    def new_session_scheduler(self) -> "SessionScheduler":
+        """An event-driven scheduler interleaving sessions on this clock.
+
+        Spawned sessions run ordinary engine code (transactions,
+        :class:`~repro.columnar.query.QueryContext` scans, page reads) —
+        while the scheduler runs, every timed wait inside the stack
+        (store latency, SSD service, CPU charges, RPC round-trips)
+        yields to whichever session wakes earliest instead of
+        monopolizing the clock, so thousands of logical clients share
+        the engine the way the paper's Figure 7/9 elasticity experiments
+        assume.  With no scheduler running, the engine behaves exactly
+        as the single-stream benches always have.
+        """
+        from repro.sim.sessions import SessionScheduler
+
+        return SessionScheduler(self.clock)
+
     def attach_tracer(self, tracer) -> None:
         """Share one tracer across every instrumented layer.
 

@@ -7,7 +7,7 @@ The benchmark harness reads these to produce the paper's tables and figures
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, List, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 
 class Counter:
@@ -55,14 +55,29 @@ class Gauge:
 
 
 class Histogram:
-    """Stores observations; offers mean/percentile/geomean summaries."""
+    """Stores observations; offers mean/percentile/geomean summaries.
+
+    Percentile queries keep a cached sorted copy of the observations,
+    invalidated by :meth:`observe`: the load harness asks for
+    p50/p95/p99 over per-request latencies after every ramp stage, and
+    re-sorting the full list on each call is quadratic once thousands of
+    sessions contribute observations.
+    """
 
     def __init__(self, name: str) -> None:
         self.name = name
         self._values: List[float] = []
+        self._sorted: "Optional[List[float]]" = None
 
     def observe(self, value: float) -> None:
         self._values.append(float(value))
+        self._sorted = None
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold another histogram's observations into this one."""
+        if other._values:
+            self._values.extend(other._values)
+            self._sorted = None
 
     @property
     def count(self) -> int:
@@ -88,7 +103,9 @@ class Histogram:
             return 0.0
         if not 0 <= q <= 100:
             raise ValueError(f"percentile must be in [0, 100], got {q!r}")
-        ordered = sorted(self._values)
+        if self._sorted is None:
+            self._sorted = sorted(self._values)
+        ordered = self._sorted
         if len(ordered) == 1:
             return ordered[0]
         rank = (q / 100.0) * (len(ordered) - 1)
@@ -216,6 +233,34 @@ class MetricsRegistry:
         out = {name: c.value for name, c in self._counters.items()}
         out.update({name: g.value for name, g in self._gauges.items()})
         return out
+
+
+def labeled_histograms(registry: "MetricsRegistry",
+                       base: str) -> "Dict[str, Histogram]":
+    """Histograms named ``base`` or ``base:{label}``, keyed by label.
+
+    Components that split one logical metric per region/tenant register
+    ``name:{label}`` twins (e.g. the resilient client's
+    ``get_latency:us-east-1``); the unlabeled original maps to ``""``.
+    Reports aggregate across the whole family instead of reading only the
+    unlabeled name — which silently holds nothing in replicated runs.
+    """
+    out: "Dict[str, Histogram]" = {}
+    prefix = base + ":"
+    for name, histogram in registry.histograms().items():
+        if name == base:
+            out[""] = histogram
+        elif name.startswith(prefix):
+            out[name[len(prefix):]] = histogram
+    return out
+
+
+def merged_histogram(registry: "MetricsRegistry", base: str) -> Histogram:
+    """One histogram holding the union of a labeled family's observations."""
+    merged = Histogram(base)
+    for histogram in labeled_histograms(registry, base).values():
+        merged.merge(histogram)
+    return merged
 
 
 def snapshot_delta(before: "Dict[str, float]",

@@ -1,0 +1,311 @@
+"""Event-driven session scheduler: thousands of logical clients, one clock.
+
+Everything in the simulation charges durations to one
+:class:`~repro.sim.clock.VirtualClock`.  Historically a benchmark was a
+single stream: each operation ran to completion, advancing the clock as it
+went, so "concurrency" could only be approximated by running streams back
+to back.  The :class:`SessionScheduler` replaces that with a discrete-event
+design:
+
+- every logical client is a **session** running its ordinary synchronous
+  code (the full engine stack: buffer, OCM, client, store) on a dedicated
+  coroutine-style worker thread;
+- the scheduler keeps an **event heap** of ``(wakeup_time, seq, session)``
+  entries and hands control to exactly one session at a time — the one
+  with the earliest wakeup;
+- any ``clock.advance()`` / ``clock.advance_to()`` made *inside* a session
+  becomes a timed wait: the session parks on the heap and other sessions
+  run during the gap.  Device models (:class:`~repro.sim.pipes.Pipe`
+  FCFS queues, token buckets, the CPU model) are shared, so contention
+  between interleaved sessions emerges from the same reservation
+  machinery the single-stream benches use.
+
+Determinism: handoff is strict (never two runnable sessions at once), the
+heap order is a total order via the monotone sequence number, and no wall
+clock or OS scheduling decision is ever consulted — a run is a pure
+function of the seed and the session program.  Worker threads are an
+implementation detail that lets deep synchronous call stacks suspend
+mid-operation without rewriting every layer into generators.
+
+With no scheduler attached the clock behaves exactly as before, keeping
+single-stream runs byte-identical (see the golden regression).
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+from typing import Callable, List, Optional, Tuple
+
+from repro.sim.clock import VirtualClock
+
+# Worker stacks are small: engine call stacks are a few dozen frames deep,
+# and thousands of sessions at the default 8 MiB would bloat virtual
+# memory for nothing.
+_SESSION_STACK_BYTES = 2 * 1024 * 1024
+
+
+class SchedulerError(Exception):
+    """Misuse of the scheduler (deadlocks, cross-session calls...)."""
+
+
+class _SessionKilled(BaseException):
+    """Raised inside a parked session when the scheduler shuts down.
+
+    Derives from ``BaseException`` so ordinary ``except Exception``
+    handlers in session code cannot swallow the shutdown.
+    """
+
+
+class Session:
+    """One logical client: a named, schedulable unit of work."""
+
+    def __init__(self, scheduler: "SessionScheduler", session_id: int,
+                 name: str, fn: Callable[["Session"], object],
+                 tenant: "Optional[str]" = None) -> None:
+        self.scheduler = scheduler
+        self.session_id = session_id
+        self.name = name
+        self.tenant = tenant
+        self.result: object = None
+        self.error: "Optional[BaseException]" = None
+        self.finished = False
+        self.started_at: "Optional[float]" = None
+        self.finished_at: "Optional[float]" = None
+        self._fn = fn
+        self._thread: "Optional[threading.Thread]" = None
+        self._resume = threading.Event()
+        self._suspended = False
+        self._killed = False
+
+    # -- thread plumbing ------------------------------------------------ #
+
+    def _ensure_thread(self) -> None:
+        if self._thread is not None:
+            return
+        previous = threading.stack_size()
+        try:
+            try:
+                threading.stack_size(_SESSION_STACK_BYTES)
+            except (ValueError, RuntimeError):
+                pass
+            self._thread = threading.Thread(
+                target=self._run, name=f"session/{self.name}", daemon=True
+            )
+            self._thread.start()
+        finally:
+            try:
+                threading.stack_size(previous)
+            except (ValueError, RuntimeError):
+                pass
+
+    def _run(self) -> None:
+        self._resume.wait()
+        self._resume.clear()
+        scheduler = self.scheduler
+        try:
+            if not self._killed:
+                self.started_at = scheduler.clock.now()
+                self.result = self._fn(self)
+        except _SessionKilled:
+            pass
+        except BaseException as error:  # surfaced by run()
+            self.error = error
+        finally:
+            self.finished = True
+            self.finished_at = scheduler.clock.now()
+            scheduler._on_session_exit(self)
+
+    def sleep(self, seconds: float) -> float:
+        """Park this session for ``seconds`` of virtual time."""
+        if seconds < 0:
+            raise SchedulerError(f"cannot sleep {seconds!r} seconds")
+        return self.scheduler.wait_until(
+            self.scheduler.clock.now() + seconds, session=self
+        )
+
+    def __repr__(self) -> str:
+        return f"Session(#{self.session_id} {self.name!r})"
+
+
+class SessionScheduler:
+    """Interleave sessions on a shared clock via an event heap of wakeups."""
+
+    def __init__(self, clock: VirtualClock) -> None:
+        self.clock = clock
+        self._heap: "List[Tuple[float, int, Session]]" = []
+        self._seq = 0
+        self._sessions: "List[Session]" = []
+        self._current: "Optional[Session]" = None
+        self._driver_wake = threading.Event()
+        self._unfinished = 0
+        self._suspended_count = 0
+        self._running = False
+        self._handoffs = 0
+
+    # -- public API ----------------------------------------------------- #
+
+    def spawn(self, fn: Callable[[Session], object], *,
+              name: "Optional[str]" = None, at: "Optional[float]" = None,
+              tenant: "Optional[str]" = None) -> Session:
+        """Register a session starting at virtual time ``at`` (default now).
+
+        ``fn`` receives the :class:`Session` and runs synchronously on the
+        shared engine stack; its return value lands in ``session.result``.
+        """
+        session_id = len(self._sessions)
+        session = Session(
+            self, session_id, name or f"s{session_id}", fn, tenant=tenant
+        )
+        wake = self.clock.now() if at is None else float(at)
+        if wake < self.clock.now():
+            raise SchedulerError(
+                f"cannot spawn {session.name!r} in the past ({wake!r})"
+            )
+        self._sessions.append(session)
+        self._unfinished += 1
+        self._push(wake, session)
+        return session
+
+    def run(self, until: "Optional[float]" = None) -> None:
+        """Drive the event loop until every session finished (or ``until``).
+
+        Attaches to the clock for the duration so in-session advances park
+        on the heap; detaches afterwards, restoring plain clock semantics.
+        Raises the first session error (after killing the survivors).
+        """
+        if self._running:
+            raise SchedulerError("run() is not reentrant")
+        self._running = True
+        self.clock.attach_scheduler(self)
+        try:
+            while self._heap:
+                wake, __, session = heapq.heappop(self._heap)
+                if until is not None and wake > until:
+                    self._push(wake, session)
+                    break
+                self.clock._set_now(wake)
+                self._switch_to(session)
+                if session.error is not None:
+                    raise session.error
+            if until is None and self._unfinished:
+                raise SchedulerError(
+                    f"deadlock: {self._suspended_count} suspended "
+                    "session(s) can never be resumed"
+                )
+        finally:
+            self._running = False
+            self._kill_remaining()
+            self.clock.detach_scheduler(self)
+
+    def in_session(self) -> bool:
+        """True when the calling thread is the currently scheduled session."""
+        current = self._current
+        return (
+            current is not None
+            and current._thread is threading.current_thread()
+        )
+
+    def wait_until(self, when: float,
+                   session: "Optional[Session]" = None) -> float:
+        """Park the calling session until global time reaches ``when``.
+
+        A target at or before the current time returns immediately without
+        yielding (zero-length waits would only churn handoffs).  Called by
+        the clock on behalf of whatever in-session code advanced it.
+        """
+        current = self._require_current(session)
+        now = self.clock.now()
+        if when <= now:
+            return now
+        self._push(when, current)
+        self._yield_from(current)
+        return self.clock.now()
+
+    def suspend(self, session: "Optional[Session]" = None) -> float:
+        """Park the calling session with *no* wakeup scheduled.
+
+        Admission control and other condition-style waits use this; some
+        other session must :meth:`resume` it.  Returns the virtual time at
+        resumption.
+        """
+        current = self._require_current(session)
+        current._suspended = True
+        self._suspended_count += 1
+        self._yield_from(current)
+        return self.clock.now()
+
+    def resume(self, session: Session, delay: float = 0.0) -> None:
+        """Schedule a suspended session to wake ``delay`` seconds from now."""
+        if not session._suspended:
+            raise SchedulerError(f"{session!r} is not suspended")
+        if delay < 0:
+            raise SchedulerError(f"cannot resume after {delay!r} seconds")
+        session._suspended = False
+        self._suspended_count -= 1
+        self._push(self.clock.now() + delay, session)
+
+    @property
+    def sessions(self) -> "List[Session]":
+        return list(self._sessions)
+
+    @property
+    def handoffs(self) -> int:
+        """Number of session activations so far (scheduler overhead stat)."""
+        return self._handoffs
+
+    # -- internals ------------------------------------------------------ #
+
+    def _push(self, wake: float, session: Session) -> None:
+        heapq.heappush(self._heap, (wake, self._seq, session))
+        self._seq += 1
+
+    def _require_current(self, session: "Optional[Session]") -> Session:
+        current = self._current
+        if current is None or not self.in_session():
+            raise SchedulerError(
+                "wait/suspend called outside the scheduled session"
+            )
+        if session is not None and session is not current:
+            raise SchedulerError(
+                f"{session!r} tried to park while {current!r} is scheduled"
+            )
+        return current
+
+    def _switch_to(self, session: Session) -> None:
+        """Hand control to ``session``; block until it parks or finishes."""
+        self._handoffs += 1
+        self._current = session
+        session._ensure_thread()
+        session._resume.set()
+        self._driver_wake.wait()
+        self._driver_wake.clear()
+        self._current = None
+
+    def _yield_from(self, session: Session) -> None:
+        """Called on the session thread: give control back, await resume."""
+        self._driver_wake.set()
+        session._resume.wait()
+        session._resume.clear()
+        if session._killed:
+            raise _SessionKilled()
+
+    def _on_session_exit(self, session: Session) -> None:
+        if not session._killed:
+            self._unfinished -= 1
+        self._driver_wake.set()
+
+    def _kill_remaining(self) -> None:
+        """Unwind every unfinished session (error or early-exit paths)."""
+        for session in self._sessions:
+            if session.finished or session._thread is None:
+                continue
+            session._killed = True
+            self._current = session
+            session._resume.set()
+            self._driver_wake.wait()
+            self._driver_wake.clear()
+            self._current = None
+            if session._thread is not None:
+                session._thread.join(timeout=5.0)
+        self._heap.clear()

@@ -66,3 +66,49 @@ def test_explicit_fixed_window_reproduces_golden(golden):
         ocm_max_pending_uploads=0,
     )
     assert _digest(run) == golden
+
+
+def test_single_scheduled_session_matches_inline_run():
+    """The session scheduler must be invisible to single-stream work.
+
+    Running the bench workload as ONE scheduled session turns every
+    `clock.advance` into a park/wake round-trip through the event heap;
+    the resulting virtual times and store request counts must still be
+    byte-identical to the plain inline run.  This is the scheduled-mode
+    extension of the golden guarantee above: the scheduler adds
+    interleaving, never timing.
+    """
+    from repro.bench.configs import load_engine
+    from repro.tpch import power_run
+
+    def workload(db):
+        db.buffer.invalidate_all()
+        if db.ocm is not None:
+            db.ocm.drain_all()
+            db.ocm.invalidate_all()
+        return power_run(db, 0.002, query_numbers=[1, 6])
+
+    def digest(db, times, load_seconds):
+        return {
+            "load_seconds": load_seconds,
+            "query_times": dict(times),
+            "final_clock": db.clock.now(),
+            "store": dict(sorted(
+                db.object_store.metrics.snapshot().items()
+            )),
+        }
+
+    inline_db, _, inline_load = load_engine(
+        "m5ad.4xlarge", "s3", 0.002
+    )
+    inline = digest(inline_db, workload(inline_db), inline_load)
+
+    sched_db, _, sched_load = load_engine(
+        "m5ad.4xlarge", "s3", 0.002
+    )
+    scheduler = sched_db.new_session_scheduler()
+    session = scheduler.spawn(lambda s: workload(sched_db))
+    scheduler.run()
+    scheduled = digest(sched_db, session.result, sched_load)
+
+    assert scheduled == inline

@@ -8,6 +8,8 @@ from repro.sim.metrics import (
     MetricNameCollisionError,
     MetricsRegistry,
     TimeSeries,
+    labeled_histograms,
+    merged_histogram,
 )
 
 
@@ -63,6 +65,69 @@ class TestHistogram:
         hist.observe(0.0)
         hist.observe(4.0)
         assert hist.geomean() == pytest.approx(4.0)
+
+    def test_sorted_cache_invalidated_by_observe(self):
+        """Regression: percentile caches the sorted values; interleaving
+        observe and percentile must keep answers correct, not stale."""
+        hist = Histogram("h")
+        hist.observe(10.0)
+        hist.observe(30.0)
+        assert hist.percentile(100) == 30.0
+        hist.observe(50.0)  # arrives after the cache was built
+        assert hist.percentile(100) == 50.0
+        assert hist.percentile(0) == 10.0
+        hist.observe(1.0)
+        assert hist.percentile(0) == 1.0
+        assert hist.percentile(50) == pytest.approx(20.0)
+
+    def test_sorted_cache_matches_fresh_sort(self):
+        hist = Histogram("h")
+        for value in (5.0, 1.0, 9.0, 3.0):
+            hist.observe(value)
+        first = [hist.percentile(q) for q in (0, 25, 50, 75, 100)]
+        # A second pass hits the cache; answers must be identical.
+        assert [hist.percentile(q) for q in (0, 25, 50, 75, 100)] == first
+        assert hist.values == [5.0, 1.0, 9.0, 3.0]  # insertion order kept
+
+    def test_merge_combines_and_invalidates(self):
+        left = Histogram("a")
+        right = Histogram("b")
+        left.observe(1.0)
+        assert left.percentile(100) == 1.0  # build the cache
+        right.observe(7.0)
+        left.merge(right)
+        assert left.count == 2
+        assert left.percentile(100) == 7.0
+
+
+class TestLabeledFamilies:
+    """Aggregation across `base` / `base:{label}` histogram families
+    (the per-region twins the resilient client registers)."""
+
+    def _registry(self):
+        registry = MetricsRegistry()
+        registry.histogram("get_latency").observe(0.010)
+        registry.histogram("get_latency:us-east-1").observe(0.020)
+        registry.histogram("get_latency:us-east-1").observe(0.040)
+        registry.histogram("get_latency:us-west-2").observe(0.080)
+        registry.histogram("get_latency_other").observe(9.0)  # not family
+        return registry
+
+    def test_labeled_histograms_keys(self):
+        family = labeled_histograms(self._registry(), "get_latency")
+        assert sorted(family) == ["", "us-east-1", "us-west-2"]
+        assert family["us-east-1"].count == 2
+
+    def test_merged_histogram_is_union(self):
+        merged = merged_histogram(self._registry(), "get_latency")
+        assert merged.count == 4
+        assert merged.percentile(100) == pytest.approx(0.080)
+        assert merged.percentile(0) == pytest.approx(0.010)
+
+    def test_merged_histogram_empty_family(self):
+        merged = merged_histogram(MetricsRegistry(), "get_latency")
+        assert merged.count == 0
+        assert merged.percentile(99) == 0.0
 
 
 class TestTimeSeries:
