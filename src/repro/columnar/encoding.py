@@ -112,6 +112,51 @@ def encode_values(kind: str, values: "Sequence[object]") -> bytes:
     raise EncodingError(f"unknown column kind {kind!r}")
 
 
+def decode_values_np(payload: bytes):
+    """Decode a page into a read-only numpy column vector.
+
+    The vectorized executor's decode path (DESIGN.md §14): floats come
+    back as a zero-copy big-endian view straight over the page bytes,
+    ints as a frame-of-reference bias over a vectorized n-bit unpack,
+    and strings as a fancy-indexed page dictionary.  Values are
+    element-wise identical to :func:`decode_values`; arrays are marked
+    read-only so the decoded-batch cache can share them across queries.
+    """
+    from repro.columnar import vec
+
+    np = vec.require_numpy("decode_values_np")
+    if len(payload) < _HEADER.size:
+        raise EncodingError("truncated page payload")
+    tag, count = _HEADER.unpack_from(payload)
+    offset = _HEADER.size
+    if tag == INT_TAG:
+        if count == 0:
+            values = np.empty(0, dtype=np.int64)
+        else:
+            lo, width = struct.unpack_from(">qB", payload, offset)
+            offset += struct.calcsize(">qB")
+            values = lo + vec.unpack_nbit(payload[offset:], width, count)
+    elif tag == FLOAT_TAG:
+        values = np.frombuffer(
+            payload, dtype=">f8", count=count, offset=offset
+        )
+    elif tag == STR_TAG:
+        dict_len, width = struct.unpack_from(">IB", payload, offset)
+        offset += struct.calcsize(">IB")
+        dictionary_raw = payload[offset:offset + dict_len].decode("utf-8")
+        distinct = dictionary_raw.split("\x00") if dict_len else [""]
+        offset += dict_len
+        if count == 0:
+            values = np.empty(0, dtype=str)
+        else:
+            codes = vec.unpack_nbit(payload[offset:], width, count)
+            values = np.array(distinct)[codes]
+    else:
+        raise EncodingError(f"unknown page tag {tag!r}")
+    values.setflags(write=False)
+    return values
+
+
 def decode_values(payload: bytes) -> "List[object]":
     """Invert :func:`encode_values` (the tag identifies the kind)."""
     if len(payload) < _HEADER.size:

@@ -3,6 +3,20 @@
 Relations are column dictionaries (``{column: [values]}``); operators
 charge CPU work to the context's :class:`~repro.sim.cpu.CpuModel` so query
 times reflect both I/O (charged by the storage stack) and compute.
+
+Every operator has two implementations sharing one signature:
+
+- the **scalar** path (the seed's row-at-a-time python, unchanged and
+  still the default) charging Amdahl CPU time, and
+- the **vectorized** path (``ctx.vectorized``), where columns are numpy
+  vectors and the kernels in :mod:`repro.columnar.vec` do the work in
+  batches, charging CPU through the context's
+  :class:`~repro.sim.cpu.MorselScheduler` so simulated time scales with
+  the instance's vCPUs (DESIGN.md §14).
+
+The vectorized kernels are constructed to reproduce the scalar output
+exactly — same rows, same order, same float bits — which the equivalence
+suite asserts across all 22 TPC-H queries.
 """
 
 from __future__ import annotations
@@ -10,6 +24,7 @@ from __future__ import annotations
 import math
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.columnar import vec
 from repro.columnar.query import QueryContext, Relation, n_rows
 
 _JOIN_BUILD_OPS = 2.0
@@ -32,6 +47,19 @@ def _columns_or_raise(rel: Relation, columns: "Sequence[str]") -> None:
             )
 
 
+def _vectorized(ctx: QueryContext) -> bool:
+    return bool(getattr(ctx, "vectorized", False))
+
+
+def _charge(ctx: QueryContext, ops: float, rows: float) -> None:
+    """Route CPU work to the morsel scheduler (vectorized) or the
+    Amdahl model (scalar, byte-identical to the seed)."""
+    if _vectorized(ctx):
+        ctx.morsels.charge(ops, rows)
+    else:
+        ctx.cpu.charge(ops)
+
+
 def select(rel: Relation, columns: "Sequence[str]") -> Relation:
     """Project onto ``columns``."""
     _columns_or_raise(rel, columns)
@@ -44,7 +72,12 @@ def extend(ctx: QueryContext, rel: Relation, name: str,
     """Add a computed column ``name = fn(*input_columns)`` row-wise."""
     _columns_or_raise(rel, inputs)
     count = n_rows(rel)
-    ctx.cpu.charge(_MAP_OPS * count)
+    _charge(ctx, _MAP_OPS * count, count)
+    if _vectorized(ctx):
+        out = {column: vec.asarray(values) for column, values in rel.items()}
+        series = [out[column] for column in inputs]
+        out[name] = vec.apply_rowwise(fn, series, count)
+        return out
     series = [rel[column] for column in inputs]
     rel = dict(rel)
     rel[name] = [fn(*values) for values in zip(*series)] if count else []
@@ -57,7 +90,15 @@ def filter_rows(ctx: QueryContext, rel: Relation,
     """Keep rows where ``fn(*input_columns)`` holds."""
     _columns_or_raise(rel, inputs)
     count = n_rows(rel)
-    ctx.cpu.charge(_FILTER_OPS * count)
+    _charge(ctx, _FILTER_OPS * count, count)
+    if _vectorized(ctx):
+        np = vec.require_numpy()
+        arrays = {column: vec.asarray(values) for column, values in rel.items()}
+        series = [arrays[column] for column in inputs]
+        mask = np.asarray(
+            vec.apply_rowwise(fn, series, count), dtype=bool
+        )
+        return {column: values[mask] for column, values in arrays.items()}
     series = [rel[column] for column in inputs]
     mask = [bool(fn(*values)) for values in zip(*series)] if count else []
     return {
@@ -87,6 +128,8 @@ def hash_join(
     _columns_or_raise(right, right_on)
     if semi and anti:
         raise ExecError("a join cannot be both semi and anti")
+    if _vectorized(ctx):
+        return _hash_join_vec(ctx, left, right, left_on, right_on, semi, anti)
 
     if semi or anti:
         keys = set(zip(*(right[c] for c in right_on))) if n_rows(right) else set()
@@ -144,6 +187,59 @@ def hash_join(
     return out
 
 
+def _hash_join_vec(
+    ctx: QueryContext,
+    left: Relation,
+    right: Relation,
+    left_on: "Sequence[str]",
+    right_on: "Sequence[str]",
+    semi: bool,
+    anti: bool,
+) -> Relation:
+    """Vectorized join: factorized keys, searchsorted match expansion."""
+    np = vec.require_numpy()
+    left_arr = {column: vec.asarray(values) for column, values in left.items()}
+    right_arr = {column: vec.asarray(values) for column, values in right.items()}
+
+    if semi or anti:
+        ctx.morsels.charge(_JOIN_BUILD_OPS * n_rows(right), n_rows(right))
+        ctx.morsels.charge(_JOIN_PROBE_OPS * n_rows(left), n_rows(left))
+        right_codes, left_codes = vec.join_codes(
+            [right_arr[c] for c in right_on],
+            [left_arr[c] for c in left_on],
+        )
+        mask = vec.member_mask(left_codes, right_codes)
+        if anti:
+            mask = ~mask
+        return {column: values[mask] for column, values in left_arr.items()}
+
+    swap = n_rows(right) > n_rows(left)
+    build, probe = (left_arr, right_arr) if swap else (right_arr, left_arr)
+    build_on, probe_on = (left_on, right_on) if swap else (right_on, left_on)
+
+    ctx.morsels.charge(_JOIN_BUILD_OPS * n_rows(build), n_rows(build))
+    ctx.morsels.charge(_JOIN_PROBE_OPS * n_rows(probe), n_rows(probe))
+    build_codes, probe_codes = vec.join_codes(
+        [build[c] for c in build_on],
+        [probe[c] for c in probe_on],
+    )
+    probe_rows, build_rows = vec.join_matches(build_codes, probe_codes)
+
+    out: Relation = {}
+    drop = set(build_on)
+    for column, values in probe.items():
+        out[column] = values[probe_rows]
+    for column, values in build.items():
+        if column in drop or column in out:
+            continue
+        out[column] = values[build_rows]
+    for left_col, right_col in zip(left_on, right_on):
+        if left_col not in out:
+            rows_idx = probe_rows if not swap else build_rows
+            out[left_col] = left_arr[left_col][rows_idx]
+    return out
+
+
 _AGGREGATES = ("sum", "count", "avg", "min", "max")
 
 
@@ -169,7 +265,9 @@ def group_by(
         if column is not None:
             _columns_or_raise(rel, [column])
     count = n_rows(rel)
-    ctx.cpu.charge(_GROUP_OPS * count * max(1, len(aggregates)))
+    _charge(ctx, _GROUP_OPS * count * max(1, len(aggregates)), count)
+    if _vectorized(ctx):
+        return _group_by_vec(rel, keys, aggregates, count)
 
     key_series = [rel[k] for k in keys]
     groups: "Dict[Tuple[object, ...], int]" = {}
@@ -221,6 +319,59 @@ def group_by(
     return out
 
 
+def _group_by_vec(
+    rel: Relation,
+    keys: "Sequence[str]",
+    aggregates: "Dict[str, Tuple[str, Optional[str]]]",
+    count: int,
+) -> Relation:
+    """Vectorized aggregation: appearance-ordered codes + bincount."""
+    np = vec.require_numpy()
+    arrays = {column: vec.asarray(values) for column, values in rel.items()}
+    if keys:
+        codes, first_rows = vec.group_keys([arrays[k] for k in keys])
+        n_groups = len(first_rows)
+        out: Relation = {k: arrays[k][first_rows] for k in keys}
+    else:
+        codes = np.zeros(count, dtype=np.int64)
+        n_groups = 1
+        out = {}
+    counts = vec.group_count(codes, n_groups)
+    for out_name, (op, column) in aggregates.items():
+        values = arrays[column] if column is not None else None
+        if op == "count":
+            out[out_name] = counts.copy()
+            continue
+        assert values is not None
+        if count == 0:
+            # Only reachable for the single global group over zero rows:
+            # mirror the scalar accumulators' initial values.
+            if op in ("sum",):
+                out[out_name] = np.zeros(n_groups)
+            elif op == "avg":
+                out[out_name] = np.zeros(n_groups)
+            else:
+                empty = np.empty(n_groups, dtype=object)
+                empty[:] = None
+                out[out_name] = empty
+            continue
+        if op == "sum":
+            out[out_name] = vec.group_sum(codes, values, n_groups)
+        elif op == "avg":
+            sums = vec.group_sum(codes, values, n_groups)
+            out[out_name] = np.divide(
+                sums,
+                counts,
+                out=np.zeros(n_groups),
+                where=counts > 0,
+            )
+        else:
+            out[out_name] = vec.group_minmax(
+                codes, values, n_groups, want_max=(op == "max")
+            )
+    return out
+
+
 def order_by(
     ctx: QueryContext,
     rel: Relation,
@@ -231,7 +382,22 @@ def order_by(
     _columns_or_raise(rel, [k for k, __ in keys])
     count = n_rows(rel)
     if count:
-        ctx.cpu.charge(_SORT_OPS * count * max(1.0, math.log2(count)))
+        _charge(ctx, _SORT_OPS * count * max(1.0, math.log2(count)), count)
+    if _vectorized(ctx):
+        np = vec.require_numpy()
+        arrays = {column: vec.asarray(values) for column, values in rel.items()}
+        indexes = np.arange(count, dtype=np.int64)
+        # Stable sorts composed right-to-left, on integer ranks so that
+        # descending keys negate cleanly for any dtype while keeping
+        # list.sort(reverse=True)'s tie order.
+        for column, descending in reversed(list(keys)):
+            ranks = vec.sort_codes(arrays[column][indexes])
+            if descending:
+                ranks = -ranks
+            indexes = indexes[np.argsort(ranks, kind="stable")]
+        if limit is not None:
+            indexes = indexes[:limit]
+        return {column: values[indexes] for column, values in arrays.items()}
     indexes = list(range(count))
     # Stable sorts composed right-to-left implement multi-key ordering.
     for column, descending in reversed(list(keys)):
@@ -248,6 +414,16 @@ def concat(left: Relation, right: Relation) -> Relation:
     """Union-all of two relations with identical columns."""
     if set(left) != set(right):
         raise ExecError("concat requires identical column sets")
+    if vec.have_numpy() and any(
+        vec.is_vector(values) for values in (*left.values(), *right.values())
+    ):
+        np = vec.require_numpy()
+        return {
+            column: np.concatenate(
+                [vec.asarray(left[column]), vec.asarray(right[column])]
+            )
+            for column in left
+        }
     return {column: left[column] + right[column] for column in left}
 
 
@@ -256,7 +432,15 @@ def distinct(ctx: QueryContext, rel: Relation,
     """Distinct projection."""
     _columns_or_raise(rel, columns)
     count = n_rows(rel)
-    ctx.cpu.charge(_GROUP_OPS * count)
+    _charge(ctx, _GROUP_OPS * count, count)
+    if _vectorized(ctx):
+        arrays = [vec.asarray(rel[c]) for c in columns]
+        if count == 0:
+            return {c: arr for c, arr in zip(columns, arrays)}
+        # first_rows is already in first-appearance (ascending row) order,
+        # matching the scalar keep list.
+        __, first_rows = vec.group_keys(arrays)
+        return {c: arr[first_rows] for c, arr in zip(columns, arrays)}
     seen = set()
     keep: List[int] = []
     series = [rel[c] for c in columns]
@@ -271,4 +455,4 @@ def rows(rel: Relation, columns: "Optional[Sequence[str]]" = None):
     """Iterate a relation as tuples (testing/report helper)."""
     columns = list(columns or sorted(rel))
     series = [rel[c] for c in columns]
-    return list(zip(*series)) if series and series[0] else []
+    return list(zip(*series)) if series and len(series[0]) else []

@@ -88,9 +88,15 @@ class ColumnStore:
         if not rows:
             return 0
         sample = rows[: min(len(rows), 64)]
-        avg = sum(
-            sum(len(str(value)) + 1 for value in row) for row in sample
-        ) / len(sample)
+        # Column-major over the sample chunk: stringify each column once
+        # instead of re-walking every row tuple (the per-row generator
+        # pair dominated load-time profiling).  The total is the same
+        # integer either way, so the estimate is bit-identical.
+        total = sum(
+            sum(len(str(value)) + 1 for value in column)
+            for column in zip(*sample)
+        )
+        avg = total / len(sample)
         return int(avg * len(rows))
 
     @staticmethod

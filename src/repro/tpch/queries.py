@@ -23,6 +23,7 @@ from repro.columnar.exec import (
     select,
 )
 from repro.columnar.query import QueryContext, Relation, n_rows
+from repro.columnar.vec import to_list
 from repro.tpch.dates import d, year_of
 
 
@@ -567,9 +568,12 @@ def q21(ctx: QueryContext, sf: float) -> Relation:
     ctx.cpu.charge(3.0 * n_rows(li))
     suppliers_by_order: "Dict[object, set]" = {}
     late_by_order: "Dict[object, set]" = {}
+    # to_list: iterate python scalars even when the vectorized executor
+    # returns numpy columns (boxing per-element numpy scalars in this
+    # loop costs more than the one-time conversion).
     for okey, skey, commit, receipt in zip(
-        li["l_orderkey"], li["l_suppkey"], li["l_commitdate"],
-        li["l_receiptdate"],
+        to_list(li["l_orderkey"]), to_list(li["l_suppkey"]),
+        to_list(li["l_commitdate"]), to_list(li["l_receiptdate"]),
     ):
         suppliers_by_order.setdefault(okey, set()).add(skey)
         if receipt > commit:

@@ -1,0 +1,94 @@
+"""Scalar vs vectorized executor: identical answers on all 22 queries.
+
+The vectorized executor is a performance feature, not a semantics
+feature: at SF 0.01 every TPC-H query must produce exactly the same
+relation — same columns, same rows, same order, same float bits — in
+both modes, on one loaded engine.  Also pins the model-level behaviour
+that rides along: decoded-batch cache hits, morsel accounting, and
+simulated query time shrinking with vCPUs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.columnar import vec
+from repro.columnar.query import QueryContext
+from repro.tpch.queries import QUERIES, run_query
+from repro.tpch.runner import power_run
+
+pytest.importorskip("numpy")
+
+SCALE_FACTOR = 0.01
+
+
+@pytest.fixture(scope="module")
+def engine():
+    from repro.bench.configs import load_engine
+
+    db, store, __ = load_engine("m5ad.24xlarge", "s3",
+                                scale_factor=SCALE_FACTOR)
+    return db
+
+
+def _normalize(rel):
+    return {column: vec.to_list(values) for column, values in rel.items()}
+
+
+@pytest.mark.parametrize("number", sorted(QUERIES))
+def test_query_results_identical(engine, number):
+    with QueryContext(engine, vectorized=False) as ctx:
+        scalar = _normalize(run_query(ctx, number, SCALE_FACTOR))
+    with QueryContext(engine, vectorized=True) as ctx:
+        vectorized = _normalize(run_query(ctx, number, SCALE_FACTOR))
+    assert set(scalar) == set(vectorized)
+    for column in scalar:
+        assert scalar[column] == vectorized[column], (
+            f"Q{number} column {column!r} diverges"
+        )
+
+
+def test_decoded_cache_serves_repeat_scans(engine):
+    with QueryContext(engine, vectorized=True) as ctx:
+        run_query(ctx, 6, SCALE_FACTOR)
+    cache = engine._decoded_batches
+    before = cache.hits
+    with QueryContext(engine, vectorized=True) as ctx:
+        run_query(ctx, 6, SCALE_FACTOR)
+    assert cache.hits > before  # second scan reuses decoded batches
+    assert engine.metrics.counter("decoded_cache_hits").value == cache.hits
+
+
+def test_morsel_accounting_is_populated(engine):
+    with QueryContext(engine, vectorized=True) as ctx:
+        run_query(ctx, 1, SCALE_FACTOR)
+    scheduler = engine._morsel_scheduler
+    assert scheduler.morsels_dispatched > 0
+    assert scheduler.waves_run > 0
+    assert engine.metrics.counter("morsels_dispatched").value == \
+        scheduler.morsels_dispatched
+
+
+def test_simulated_time_shrinks_with_vcpus(engine):
+    """The Figure 7 scale-up story: more vCPUs, faster vectorized queries."""
+    original = engine.cpu.vcpus
+    try:
+        times = {}
+        for vcpus in (1, 8, 16):
+            engine.cpu.vcpus = vcpus
+            per_query = power_run(engine, SCALE_FACTOR,
+                                  query_numbers=[1, 3, 6], vectorized=True)
+            times[vcpus] = sum(per_query.values())
+        assert times[1] > times[8] > times[16]
+    finally:
+        engine.cpu.vcpus = original
+
+
+def test_scalar_path_never_touches_vectorized_state():
+    """A scalar-mode engine must not grow morsel or batch-cache state."""
+    from repro.bench.configs import load_engine
+
+    db, __, ___ = load_engine("m5ad.24xlarge", "s3", scale_factor=0.002)
+    power_run(db, 0.002, query_numbers=[1, 6])
+    assert getattr(db, "_morsel_scheduler", None) is None
+    assert getattr(db, "_decoded_batches", None) is None
