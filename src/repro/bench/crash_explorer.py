@@ -138,6 +138,7 @@ def _payload(obj: str, page: int, gen: int, seed: int) -> bytes:
 def registered_points() -> "List[str]":
     """Every registered crash point (forces all instrumented imports)."""
     import repro.core.multiplex  # noqa: F401  (imports the whole engine)
+    import repro.core.scrub  # noqa: F401  (registers the scrub points)
 
     return CRASH_POINTS.names()
 
@@ -152,6 +153,7 @@ def run_churn_episode(
     broken_gc: bool = False,
     arm_skip: int = 0,
     config_overrides: "Optional[Dict[str, object]]" = None,
+    deep: bool = False,
 ) -> EpisodeResult:
     """One seeded churn workload crashed (maybe repeatedly) at one point."""
     CRASH_POINTS.disarm_all()
@@ -320,7 +322,7 @@ def run_churn_episode(
 
     # --- invariants 2 and 3: the auditor's verdict ---------------------- #
     try:
-        report = StoreAuditor(db).audit()
+        report = StoreAuditor(db).audit(deep=deep)
     except AuditError as exc:
         result.violations.append(f"audit failed: {exc}")
         return result
@@ -329,6 +331,11 @@ def run_churn_episode(
         result.violations.append(
             f"MISSING objects after recovery: {len(report.missing)} live, "
             f"{len(report.snapshot_missing)} snapshot-only"
+        )
+    if deep and (report.corrupt or report.region_corrupt):
+        result.violations.append(
+            f"CORRUPT objects after recovery: {len(report.corrupt)} "
+            f"primary, {len(report.region_corrupt)} regional"
         )
     if broken_gc:
         if not report.leaked:
@@ -701,6 +708,144 @@ def run_failover_episode(
 
 
 # ---------------------------------------------------------------------- #
+# the scrub episode (at-rest rot -> crash mid-repair -> re-scrub)
+# ---------------------------------------------------------------------- #
+
+SCRUB_DAMAGED_OBJECTS = 4
+
+
+def run_scrub_episode(
+    crash_point_name: "Optional[str]" = None,
+    seed: int = 0,
+    arm_skip: int = 0,
+) -> EpisodeResult:
+    """Crash the scrubber mid-repair; prove the repair is idempotent.
+
+    A two-region replicated store converges, then a handful of stored
+    primary copies are bit-flipped in place — silent at-rest rot.  The
+    scrubber runs with one of its repair-bracketing crash points armed;
+    whenever it fires, the engine recovers and the scrub simply runs
+    again.  Because a repair overwrites the damaged version with the
+    replica's clean bytes *under the same op-time*, replaying it after a
+    crash on either side of the overwrite converges on the same state.
+    The episode asserts that afterwards every committed page reads back
+    byte-identical through cold caches and a deep audit finds zero
+    CORRUPT copies in any region.
+    """
+    from repro.core.scrub import Scrubber
+
+    CRASH_POINTS.disarm_all()
+    result = EpisodeResult(crash_point=crash_point_name, seed=seed,
+                           mode="scrub")
+    overrides = failover_overrides()
+    overrides["verify_reads"] = True
+    db = build_engine(seed, overrides)
+    expected: "Dict[Tuple[str, int], bytes]" = {}
+
+    db.create_object("t0")
+    for gen in range(2):
+        txn = db.begin()
+        for p in range(PAGES):
+            data = _payload("t0", p, gen, seed)
+            db.write_page(txn, "t0", p, data)
+            expected[("t0", p)] = data
+        db.commit(txn)
+        db.clock.advance(0.5)
+
+    # Let replication land every version so each region can repair the
+    # other, then rot a few primary copies in place.
+    store = db.object_store
+    db.clock.advance(REPLICATION_HORIZON + 1.0)
+    store.pump(db.clock.now())
+    primary = store.store_for(FAILOVER_REGIONS[0])
+    damaged = 0
+    for name in sorted(primary.all_keys()):
+        if damaged >= SCRUB_DAMAGED_OBJECTS:
+            break
+        if primary.latest_data(name) is None:
+            continue
+        if store.inject_damage(name, flips=2):
+            damaged += 1
+    if not damaged:
+        result.violations.append("no stored objects available to damage")
+        return result
+
+    point = None
+    fired_before = 0
+    scrub_report = None
+    try:
+        if crash_point_name is not None:
+            point = CRASH_POINTS.point(crash_point_name)
+            fired_before = point.fired
+            CRASH_POINTS.arm(crash_point_name, skip=arm_skip)
+        for __ in range(MAX_RECOVERY_ATTEMPTS):
+            try:
+                scrub_report = Scrubber(db).run()
+                break
+            except SimulatedCrash as exc:
+                result.crashes += 1
+                db.crash_from(exc)
+                for __ in range(MAX_RECOVERY_ATTEMPTS):
+                    if not db.crashed:
+                        break
+                    try:
+                        db.restart()
+                    except SimulatedCrash as inner:
+                        result.crashes += 1
+                        db.crash_from(inner)
+                else:
+                    result.violations.append("recovery did not converge")
+        else:
+            result.violations.append("scrub did not converge")
+    finally:
+        CRASH_POINTS.disarm_all()
+        if point is not None:
+            result.fired = point.fired - fired_before
+
+    if scrub_report is not None and scrub_report.quarantined:
+        result.violations.append(
+            f"scrub quarantined {len(scrub_report.quarantined)} copies a "
+            "healthy replica should have repaired"
+        )
+
+    # Invariant 1: committed pages survive cold — through *verified*
+    # reads, so a missed repair surfaces as a failure here too.
+    db.node.invalidate_caches()
+    if db.ocm is not None:
+        db.ocm.invalidate_all()
+    txn = db.begin()
+    for (obj, p), data in sorted(expected.items()):
+        try:
+            got: "Optional[bytes]" = db.read_page(txn, obj, p)
+        except SimulatedCrash:
+            raise
+        except Exception:
+            got = None
+        if got != data:
+            result.violations.append(
+                f"data loss: committed page {obj!r}/{p} unreadable or "
+                "altered after the scrub"
+            )
+    db.rollback(txn)
+
+    # Invariant 2: a deep audit finds zero CORRUPT copies anywhere.
+    report = StoreAuditor(db).audit(deep=True)
+    result.report = report
+    if report.corrupt or report.region_corrupt:
+        result.violations.append(
+            f"at-rest damage survived the scrub: {len(report.corrupt)} "
+            f"primary, {len(report.region_corrupt)} regional"
+        )
+    if report.missing or report.snapshot_missing:
+        result.violations.append("MISSING objects after the scrub episode")
+    if report.region_divergent:
+        result.violations.append(
+            f"regions diverged after repair: {len(report.region_divergent)}"
+        )
+    return result
+
+
+# ---------------------------------------------------------------------- #
 # exploration drivers
 # ---------------------------------------------------------------------- #
 
@@ -722,6 +867,9 @@ def run_episode(
         if crash_point_name.startswith("engine.restore."):
             return run_restore_episode(crash_point_name, seed=seed,
                                        arm_skip=arm_skip)
+        if crash_point_name.startswith("scrub."):
+            return run_scrub_episode(crash_point_name, seed=seed,
+                                     arm_skip=arm_skip)
         if crash_point_name.startswith(WRITE_PIPELINE_PREFIXES):
             return run_churn_episode(
                 crash_point_name, seed=seed, broken_gc=broken_gc,

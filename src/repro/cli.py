@@ -14,7 +14,12 @@ Commands:
 - ``trace`` — run a workload with end-to-end tracing enabled, export the
   span tree as Chrome-trace JSON (loadable in ``about://tracing`` /
   Perfetto) and print a flamegraph-style attribution report,
-- ``report`` — re-aggregate a previously exported trace JSON offline.
+- ``report`` — re-aggregate a previously exported trace JSON offline,
+- ``scrub`` — damage a replicated store at rest, then run the budgeted
+  background scrubber and prove it repairs every copy (DESIGN.md §15),
+- ``fsck --deep`` — extend the metadata audit with content verification:
+  every present object's bytes are re-checksummed against the recorded
+  CRC-32C and mismatches are reported as CORRUPT.
 """
 
 from __future__ import annotations
@@ -145,6 +150,7 @@ def run_chaos_scenario(
     )
     from repro.objectstore.errors import (
         CircuitOpenError,
+        CorruptObjectError,
         RetriesExhaustedError,
     )
     from repro.objectstore.faults import named_schedule
@@ -165,6 +171,11 @@ def run_chaos_scenario(
         ocm_capacity_bytes=32 << 20,
         page_size=16 * 1024,
         fault_schedule=schedule,
+        # Corruption schedules flip payload bits; without verified reads
+        # the damaged bytes would flow straight into the durability check
+        # as silent mismatches.  Pure availability schedules keep the
+        # knob off so their byte streams stay identical to older runs.
+        verify_reads=schedule.corrupting,
         replication=replication,
         breaker=CircuitBreakerConfig(failure_threshold=3, reset_timeout=2.0),
         hedge=HedgePolicy(),
@@ -178,6 +189,7 @@ def run_chaos_scenario(
     commits_ok = 0
     commits_failed = 0
     reads_failed_fast = 0
+    corrupt_detected = 0
     horizon = schedule.horizon + settle
     while db.clock.now() < horizon:
         txn = db.begin()
@@ -216,6 +228,10 @@ def run_chaos_scenario(
                     db.read_page(reader, "t", page)
                 except (CircuitOpenError, RetriesExhaustedError):
                     reads_failed_fast += 1
+                except CorruptObjectError:
+                    # Detected — never served silently.  Unrepairable
+                    # only when no healthy replica holds the version.
+                    corrupt_detected += 1
             try:
                 db.commit(reader)
             except Exception:
@@ -232,8 +248,14 @@ def run_chaos_scenario(
     mismatches = 0
     reader = db.begin()
     for page, payload in sorted(committed.items()):
-        if db.read_page(reader, "t", page) != payload:
-            mismatches += 1
+        try:
+            if db.read_page(reader, "t", page) != payload:
+                mismatches += 1
+        except CorruptObjectError:
+            # The checksum caught it before any bytes reached the
+            # reader; still a durability problem — the page is gone
+            # unless a replica can repair it.
+            corrupt_detected += 1
     db.commit(reader)
     # GET latencies live in a labeled family: the resilient client records
     # under plain `get_latency` against a single-region store but under
@@ -258,6 +280,8 @@ def run_chaos_scenario(
         "reads_failed_fast": reads_failed_fast,
         "committed_pages": len(committed),
         "mismatches": mismatches,
+        "corrupt_detected": corrupt_detected,
+        "verify_reads": schedule.corrupting,
         "client_metrics": db.object_client.metrics.snapshot(),
         "store_metrics": db.object_store.metrics.snapshot(),
         "ocm_metrics": db.ocm.metrics.snapshot() if db.ocm is not None else {},
@@ -290,6 +314,15 @@ def cmd_chaos(args: argparse.Namespace) -> int:
          f"{result['commits_ok']} / {result['commits_failed']}"],
         ["committed pages verified", result["committed_pages"]],
         ["durability mismatches", result["mismatches"]],
+        ["corrupt reads detected (unrepairable)",
+         result["corrupt_detected"]],
+        ["checksum mismatches caught",
+         f"{client.get('checksum_mismatches', 0):.0f}"],
+        ["read repairs (client / store)",
+         f"{client.get('read_repairs', 0):.0f} / "
+         f"{store.get('read_repairs', 0):.0f}"],
+        ["hedge winners failing verification",
+         f"{client.get('hedge_mismatch', 0):.0f}"],
         ["breaker opened / closed",
          f"{client.get('breaker_opened', 0):.0f} / "
          f"{client.get('breaker_closed', 0):.0f}"],
@@ -317,6 +350,11 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     if result["mismatches"]:
         print(f"DURABILITY VIOLATION: {result['mismatches']} committed "
               "pages did not read back intact")
+        return 1
+    if result["corrupt_detected"]:
+        print(f"INTEGRITY: {result['corrupt_detected']} corrupt reads were "
+              "detected but could not be repaired (no healthy replica — "
+              "run with --regions 2+ for read-repair)")
         return 1
     print("all committed data read back byte-identical after recovery")
     return 0
@@ -487,6 +525,7 @@ def cmd_fsck(args: argparse.Namespace) -> int:
         args.crash_point or None,
         seed=args.seed,
         broken_gc=args.broken_gc,
+        deep=args.deep,
     )
     report = result.report
     if report is None:
@@ -509,20 +548,156 @@ def cmd_fsck(args: argparse.Namespace) -> int:
             ["already freed (benign)", report.already_freed],
             ["unparseable names", len(report.unparseable)],
         ]
+        if report.deep:
+            rows.append(["content verified", report.content_verified])
+            rows.append(["CORRUPT", len(report.corrupt)])
+            rows.append(["region CORRUPT", len(report.region_corrupt)])
         label = args.crash_point or "none"
         print(f"fsck after churn (seed {args.seed}, crash point {label}, "
-              f"broken GC {'on' if args.broken_gc else 'off'})")
+              f"broken GC {'on' if args.broken_gc else 'off'}, "
+              f"{'deep' if args.deep else 'shallow'})")
         print(format_table(["classification", "count"], rows))
         for name, key in report.leaked[:10]:
             print(f"  LEAKED  {name} {key:#x}")
         for name, key in report.missing[:10]:
             print(f"  MISSING {name} {key:#x}")
+        for where, key in report.corrupt[:10]:
+            print(f"  CORRUPT {where} {key:#x}")
     # The status line goes to stderr so `--json` keeps stdout pure for
     # machine consumers (CI gates on the exit code + the `ok` key).
     if not report.ok():
         print("fsck: store is NOT clean", file=sys.stderr)
         return 1
     print("fsck: store is clean", file=sys.stderr)
+    return 0
+
+
+def run_scrub_scenario(
+    seed: int = 0,
+    regions: int = 3,
+    generations: int = 4,
+    pages: int = 8,
+    damage: int = 4,
+    flips: int = 3,
+    budget: "Optional[float]" = None,
+) -> "Dict[str, object]":
+    """Rot a replicated store at rest, scrub it, and return the evidence.
+
+    A short workload commits ``generations`` generations of ``pages``
+    pages, replication converges, and then ``damage`` stored objects on
+    the primary are bit-flipped in place — silent at-rest rot, invisible
+    until something re-reads the bytes.  A deep fsck counts the damage,
+    one budgeted scrubber pass repairs it from the healthy replicas, and
+    a second deep fsck proves the store is clean.  Deterministic for a
+    given seed.
+    """
+    from repro.core.audit import StoreAuditor
+    from repro.core.scrub import DEFAULT_BYTES_PER_SECOND, Scrubber
+    from repro.engine import Database, DatabaseConfig
+    from repro.objectstore.replicated import ReplicationConfig
+
+    if not 1 <= regions <= len(_CHAOS_REGION_NAMES):
+        raise ValueError(
+            f"regions must be in [1, {len(_CHAOS_REGION_NAMES)}]"
+        )
+    replication = (
+        ReplicationConfig(regions=_CHAOS_REGION_NAMES[:regions],
+                          mean_lag_seconds=0.2, staleness_horizon=5.0)
+        if regions > 1 else None
+    )
+    db = Database(DatabaseConfig(
+        seed=seed,
+        buffer_capacity_bytes=8 << 20,
+        ocm_capacity_bytes=32 << 20,
+        page_size=16 * 1024,
+        replication=replication,
+        verify_reads=True,
+    ))
+    db.create_object("t")
+    for gen in range(generations):
+        txn = db.begin()
+        for page in range(pages):
+            db.write_page(txn, "t", page, b"gen-%d-page-%d" % (gen, page))
+        db.commit(txn)
+        db.clock.advance(0.5)
+    store = db.object_store
+    if replication is not None:
+        # Let every queued apply land so each region holds every version.
+        db.clock.advance(replication.staleness_horizon + 1.0)
+        store.pump(db.clock.now())
+    # At-rest rot: deterministic in-place bit flips on stored primary
+    # copies.  No fault schedule, no RNG — rot is not an I/O event.
+    primary = store.store_for(store.regions[0]) if replication else store
+    damaged = []
+    for name in sorted(primary.all_keys()):
+        if len(damaged) >= damage:
+            break
+        if primary.latest_data(name) is None:
+            continue
+        if store.inject_damage(name, flips=flips):
+            damaged.append(name)
+    auditor = StoreAuditor(db)
+    before = auditor.audit(deep=True)
+    scrubber = Scrubber(
+        db, bytes_per_second=budget or DEFAULT_BYTES_PER_SECOND
+    )
+    report = scrubber.run()
+    after = auditor.audit(deep=True)
+    return {
+        "seed": seed,
+        "regions": regions,
+        "damaged": len(damaged),
+        "scrub": report.to_dict(),
+        "corrupt_before": len(before.corrupt) + len(before.region_corrupt),
+        "corrupt_after": len(after.corrupt) + len(after.region_corrupt),
+        "audit_ok_after": after.ok(),
+        "scrub_virtual_seconds": report.finished_at - report.started_at,
+        "bytes_per_second": scrubber.bytes_per_second,
+        "virtual_seconds": db.clock.now(),
+    }
+
+
+def cmd_scrub(args: argparse.Namespace) -> int:
+    import json
+
+    result = run_scrub_scenario(
+        seed=args.seed,
+        regions=args.regions,
+        damage=args.damage,
+        flips=args.flips,
+        budget=args.budget,
+    )
+    if args.json:
+        print(json.dumps(result, indent=2, sort_keys=True))
+    else:
+        scrub = result["scrub"]
+        print(f"scrub drill (seed {result['seed']}, "
+              f"{result['regions']} regions, "
+              f"{result['damaged']} objects damaged at rest)")
+        print(format_table(["measure", "value"], [
+            ["objects scanned", scrub["objects_scanned"]],
+            ["bytes scanned", scrub["bytes_scanned"]],
+            ["regions scanned", ", ".join(scrub["regions_scanned"])],
+            ["corrupt found", scrub["corrupt_found"]],
+            ["repaired", scrub["repaired"]],
+            ["quarantined", len(scrub["quarantined"])],
+            ["deep fsck CORRUPT before", result["corrupt_before"]],
+            ["deep fsck CORRUPT after", result["corrupt_after"]],
+            ["scrub budget (bytes/s)", result["bytes_per_second"]],
+            ["scrub pass (virtual s)",
+             round(result["scrub_virtual_seconds"], 3)],
+        ]))
+        for region, name in scrub["quarantined"][:10]:
+            print(f"  QUARANTINED [{region}] {name}")
+    scrub_ok = result["scrub"]["ok"]
+    if not (scrub_ok and result["corrupt_after"] == 0
+            and result["audit_ok_after"]):
+        why = ("quarantined copies remain" if not scrub_ok
+               else "deep fsck still reports corruption")
+        print(f"scrub: store is NOT clean ({why})", file=sys.stderr)
+        return 1
+    print("scrub: every damaged copy repaired; deep fsck clean",
+          file=sys.stderr)
     return 0
 
 
@@ -658,8 +833,11 @@ def build_parser() -> argparse.ArgumentParser:
         "chaos", help="run a named fault schedule and report resilience"
     )
     chaos.add_argument("--schedule", default="storm",
-                       choices=["storm", "outage", "latency", "throttle"],
-                       help="named fault schedule to run")
+                       choices=["storm", "outage", "latency", "throttle",
+                                "bitrot", "torn-read"],
+                       help="named fault schedule to run (bitrot and "
+                            "torn-read corrupt payloads and turn on "
+                            "verified reads)")
     chaos.add_argument("--seed", type=int, default=0)
     chaos.add_argument("--start", type=float, default=5.0,
                        help="virtual time at which the schedule begins")
@@ -719,8 +897,30 @@ def build_parser() -> argparse.ArgumentParser:
                       help="arm this crash point during the churn workload")
     fsck.add_argument("--broken-gc", action="store_true",
                       help="sabotage GC to demonstrate leak detection")
+    fsck.add_argument("--deep", action="store_true",
+                      help="also verify every object's bytes against its "
+                           "recorded CRC-32C (reports CORRUPT)")
     fsck.add_argument("--json", action="store_true",
                       help="print the machine-readable audit report")
+
+    scrub = sub.add_parser(
+        "scrub",
+        help="damage a replicated store at rest, then run the budgeted "
+             "background scrubber and verify repairs (deep fsck gated)",
+    )
+    scrub.add_argument("--seed", type=int, default=0)
+    scrub.add_argument("--regions", type=int, default=3,
+                       help="object-store regions (1 = no replicas: "
+                            "damage is quarantined, not repaired)")
+    scrub.add_argument("--damage", type=int, default=4,
+                       help="stored objects to bit-flip at rest")
+    scrub.add_argument("--flips", type=int, default=3,
+                       help="bit flips per damaged object")
+    scrub.add_argument("--budget", type=float, default=None,
+                       help="scrub budget in bytes per virtual second "
+                            "(default 8 MiB/s)")
+    scrub.add_argument("--json", action="store_true",
+                       help="print the machine-readable drill result")
 
     dr = sub.add_parser(
         "dr",
@@ -766,6 +966,7 @@ def main(argv: "Optional[List[str]]" = None) -> int:
         "trace": cmd_trace,
         "report": cmd_report,
         "fsck": cmd_fsck,
+        "scrub": cmd_scrub,
         "dr": cmd_dr,
         "crashtest": cmd_crashtest,
     }

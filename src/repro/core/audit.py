@@ -32,7 +32,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
 
 from repro.objectstore.replicated import ReplicatedObjectStore
-from repro.storage.blockmap import Blockmap
+from repro.storage.blockmap import Blockmap, BlockmapError
 from repro.storage.dbspace import CloudDbspace
 from repro.storage.keys import object_key_from_name
 from repro.storage.locator import NULL_LOCATOR, is_object_key
@@ -54,6 +54,19 @@ class _MissingPageError(Exception):
         self.locator = locator
 
 
+class _TornPageError(Exception):
+    """A metadata walk read a page whose stored bytes do not decode.
+
+    At-rest rot on a blockmap page surfaces here: decompression,
+    decryption or the page trailer rejects the damaged bytes before the
+    blockmap even sees them.
+    """
+
+    def __init__(self, locator: int) -> None:
+        super().__init__(f"page {locator:#x} does not decode")
+        self.locator = locator
+
+
 class _PeekPageStore:
     """Un-timed, visibility-blind page reads for metadata walks.
 
@@ -72,7 +85,10 @@ class _PeekPageStore:
         raw = self._store.latest_data(self._dbspace.object_name(locator))
         if raw is None:
             raise _MissingPageError(locator)
-        return self._dbspace._open(raw)
+        try:
+            return self._dbspace._open(raw)
+        except Exception as exc:
+            raise _TornPageError(locator) from exc
 
 
 @dataclass
@@ -113,9 +129,19 @@ class AuditReport:
     # (region, key) — queued entries that outlived the staleness horizon
     # without being outage-deferred: the bounded-staleness guarantee broke.
     staleness_violations: "List[Tuple[str, int]]" = field(default_factory=list)
+    # Deep (content) verification — populated only by ``audit(deep=True)``:
+    # every present object's stored bytes are re-hashed against the
+    # store's recorded CRC-32C.
+    deep: bool = False
+    content_verified: int = 0
+    # (dbspace, key) — present on the primary, bytes fail their checksum.
+    corrupt: "List[Tuple[str, int]]" = field(default_factory=list)
+    # (region, key) — a secondary region's copy fails its checksum.
+    region_corrupt: "List[Tuple[str, int]]" = field(default_factory=list)
 
     def ok(self) -> bool:
-        """No leaks, no data loss, every region convergent-or-pending."""
+        """No leaks, no data loss, every region convergent-or-pending,
+        and (under ``deep``) no content corruption anywhere."""
         return not (
             self.leaked
             or self.missing
@@ -124,6 +150,8 @@ class AuditReport:
             or self.region_leaked
             or self.region_divergent
             or self.staleness_violations
+            or self.corrupt
+            or self.region_corrupt
         )
 
     def to_dict(self) -> "Dict[str, object]":
@@ -151,6 +179,12 @@ class AuditReport:
             "staleness_violations": [
                 [r, key] for r, key in self.staleness_violations
             ],
+            "deep": self.deep,
+            "content_verified": self.content_verified,
+            "corrupt": [[name, key] for name, key in self.corrupt],
+            "region_corrupt": [
+                [r, key] for r, key in self.region_corrupt
+            ],
         }
 
 
@@ -173,9 +207,11 @@ class StoreAuditor:
     ) -> None:
         """Add every cloud locator reachable from ``catalog`` to ``refs``.
 
-        A walk that dies on a missing interior page records that page in
-        ``unreadable`` and moves on — the audit must survive the very
-        corruption it is looking for.
+        A walk that dies on a missing, undecodable, or structurally
+        nonsensical interior page records that page in ``unreadable`` and
+        moves on — the audit must survive the very corruption it is
+        looking for.  (A rotted blockmap page stays *present*, so the
+        classification pass counts it and the deep pass flags it CORRUPT.)
         """
         for identity in catalog.all_identities():
             dbspace = dbspaces.get(identity.dbspace)
@@ -193,7 +229,7 @@ class StoreAuditor:
                 for locator in blockmap.live_locators():
                     if is_object_key(locator):
                         target.add(locator)
-            except _MissingPageError as error:
+            except (_MissingPageError, _TornPageError) as error:
                 # Both the unreadable page and the root belong to the
                 # reference set; the classification pass reports whichever
                 # of them the store does not hold as MISSING.
@@ -201,6 +237,13 @@ class StoreAuditor:
                 if is_object_key(error.locator):
                     target.add(error.locator)
                 unreadable.append((identity.dbspace, error.locator))
+            except BlockmapError:
+                # The damaged page decoded into a structurally wrong
+                # node — same story, but only the root is attributable.
+                target.add(identity.root_locator)
+                unreadable.append(
+                    (identity.dbspace, identity.root_locator)
+                )
 
     def _snapshot_catalogs(self) -> "List[Catalog]":
         manager = self.db.snapshot_manager
@@ -249,23 +292,37 @@ class StoreAuditor:
     # the audit
     # ------------------------------------------------------------------ #
 
-    def audit(self) -> AuditReport:
-        """Classify every object in every cloud bucket; update metrics."""
+    def audit(self, deep: bool = False) -> AuditReport:
+        """Classify every object in every cloud bucket; update metrics.
+
+        ``deep`` adds content verification on top of the existence-based
+        classification: every present object's stored bytes are re-hashed
+        with CRC-32C against the store's recorded checksum (in every
+        region for replicated stores).  Mismatches classify as CORRUPT —
+        the class a bit flip at rest falls into, invisible to the
+        existence audit because the damaged object is still *there*.
+        """
         db = self.db
         dbspaces = db.cloud_dbspaces()
         if not dbspaces:
             raise AuditError("no cloud dbspaces to audit")
-        with db.tracer.span("fsck", "audit"):
-            report = self._audit(dbspaces)
+        with db.tracer.span("fsck", "audit", deep=deep):
+            report = self._audit(dbspaces, deep)
         db.metrics.counter("fsck_runs").increment()
         db.metrics.gauge("fsck_leaked").set(len(report.leaked))
         db.metrics.gauge("fsck_missing").set(
             len(report.missing) + len(report.snapshot_missing)
         )
+        if deep:
+            db.metrics.counter("fsck_deep_runs").increment()
+            db.metrics.gauge("fsck_corrupt").set(
+                len(report.corrupt) + len(report.region_corrupt)
+            )
         return report
 
-    def _audit(self, dbspaces: "Dict[str, CloudDbspace]") -> AuditReport:
-        report = AuditReport()
+    def _audit(self, dbspaces: "Dict[str, CloudDbspace]",
+               deep: bool = False) -> AuditReport:
+        report = AuditReport(deep=deep)
         unreadable: "List[Tuple[str, int]]" = []
 
         live: "Dict[str, Set[int]]" = {}
@@ -307,6 +364,10 @@ class StoreAuditor:
                     continue
                 present.add(key)
                 report.objects_scanned += 1
+                if deep:
+                    report.content_verified += 1
+                    if store.verify_at_rest(object_name) is False:  # type: ignore[attr-defined]
+                        report.corrupt.append((label, key))
                 if key in live_keys:
                     report.live += 1
                 elif key in snap_keys or key in retained_keys:
@@ -325,11 +386,11 @@ class StoreAuditor:
                 (retained_keys | chain_keys) - present - live_keys - snap_keys
             )
             if isinstance(store, ReplicatedObjectStore):
-                self._audit_regions(store, report)
+                self._audit_regions(store, report, deep)
         return report
 
     def _audit_regions(self, store: ReplicatedObjectStore,
-                       report: AuditReport) -> None:
+                       report: AuditReport, deep: bool = False) -> None:
         """Audit every secondary region against the primary ground truth.
 
         Convergence is judged *modulo the replication queue*: a
@@ -358,6 +419,14 @@ class StoreAuditor:
             report.region_pending += len(pending)
             primary_names = set(primary.all_keys())
             region_names = set(regional.all_keys())
+            if deep:
+                for name in sorted(region_names):
+                    key = key_of(name)
+                    if key is None:
+                        continue
+                    report.content_verified += 1
+                    if regional.verify_at_rest(name) is False:
+                        report.region_corrupt.append((region, key))
             for name in sorted(primary_names - region_names):
                 key = key_of(name)
                 if key is None:

@@ -33,6 +33,7 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.checksum import crc32c
 from repro.core.aimd import AimdConfig, AimdUploadController
 from repro.core.cache_policy import make_policy
 from repro.objectstore.client import RetryingObjectClient
@@ -113,13 +114,19 @@ class OcmConfig:
 
 
 class _CacheEntry:
-    __slots__ = ("name", "data", "uploaded", "in_lru")
+    __slots__ = ("name", "data", "uploaded", "in_lru", "crc")
 
-    def __init__(self, name: str, data: bytes, uploaded: bool, in_lru: bool) -> None:
+    def __init__(self, name: str, data: bytes, uploaded: bool, in_lru: bool,
+                 crc: "Optional[int]" = None) -> None:
         self.name = name
         self.data = data
         self.uploaded = uploaded
         self.in_lru = in_lru
+        # CRC-32C recorded at SSD-fill time (verified-reads mode only):
+        # cache hits — including degraded-mode hits, which cannot fall
+        # back to the fenced-off store — re-verify against it, so the SSD
+        # cache is never an integrity blind spot.
+        self.crc = crc
 
     @property
     def size(self) -> int:
@@ -162,6 +169,9 @@ class ObjectCacheManager(ObjectIO):
         self._entries: "OrderedDict[str, _CacheEntry]" = OrderedDict()
         self._policy = make_policy(config.policy, config.capacity_bytes)
         self._used = 0
+        # Mirror the client's verified-reads knob: fills record a CRC and
+        # cache hits re-verify (the client already verified the fetch).
+        self._verify = bool(getattr(client, "verify_reads", False))
         self._pending: "Dict[int, List[_PendingUpload]]" = {}
         self._anonymous_pending: "List[_PendingUpload]" = []
         self._upload_inflight: "List[float]" = []
@@ -240,11 +250,28 @@ class ObjectCacheManager(ObjectIO):
         old = self._entries.pop(name, None)
         if old is not None:
             self._used -= old.size
-        entry = _CacheEntry(name, bytes(data), uploaded, in_lru)
+        payload = bytes(data)
+        crc = crc32c(payload) if self._verify else None
+        entry = _CacheEntry(name, payload, uploaded, in_lru, crc=crc)
         self._entries[name] = entry
         self._used += entry.size
         self._policy.on_insert(name, entry.size, scan_hint)
         self._evict_if_needed()
+
+    def _verified_entry(self, name: str,
+                        entry: "Optional[_CacheEntry]",
+                        ) -> "Optional[_CacheEntry]":
+        """Drop (and report) a cached entry whose bytes no longer match
+        their fill-time CRC; the caller falls through to the miss path."""
+        if entry is None or entry.crc is None:
+            return entry
+        if crc32c(entry.data) == entry.crc:
+            return entry
+        self.metrics.counter("cache_verify_failures").increment()
+        self.tracer.record("verify", "cache_checksum_mismatch",
+                           self.clock.now(), self.clock.now(), key=name)
+        self._remove(name)
+        return None
 
     def _remove(self, name: str, evicted: bool = False) -> "Optional[_CacheEntry]":
         entry = self._entries.pop(name, None)
@@ -339,7 +366,7 @@ class ObjectCacheManager(ObjectIO):
     def _get_inner(self, name: str, scan_hint: bool = False) -> "Tuple[bytes, str]":
         now = self.clock.now()
         degraded = self.degraded()
-        entry = self._entries.get(name)
+        entry = self._verified_entry(name, self._entries.get(name))
         if entry is not None:
             if degraded:
                 # Degraded mode: the store is fenced off; serve the hit
@@ -402,7 +429,7 @@ class ObjectCacheManager(ObjectIO):
         rerouted: List[str] = []
         try:
             for name in names:
-                entry = self._entries.get(name)
+                entry = self._verified_entry(name, self._entries.get(name))
                 if entry is not None:
                     if degraded:
                         done = self.device.read(entry.size, t0)
@@ -487,7 +514,7 @@ class ObjectCacheManager(ObjectIO):
         hit_count = 0
         misses: List[str] = []
         for name in names:
-            entry = self._entries.get(name)
+            entry = self._verified_entry(name, self._entries.get(name))
             if entry is None:
                 misses.append(name)
                 continue

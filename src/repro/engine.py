@@ -168,6 +168,19 @@ class DatabaseConfig:
     vectorized_executor: bool = False
     morsel_rows: int = 4096
     decoded_cache_bytes: int = 256 * MIB
+    # End-to-end integrity (DESIGN.md §15; both off by default so the
+    # stock configuration stays byte-identical to the seed):
+    # - verify_reads: the object client recomputes CRC-32C over every
+    #   served payload against the store's recorded checksum; mismatches
+    #   retry (and read-repair under replication) instead of reaching the
+    #   engine, and the OCM re-verifies SSD cache hits against fill-time
+    #   checksums;
+    # - page_checksums: every sealed page image carries a CRC-32C trailer
+    #   inside the encryption envelope, so corruption is caught even on
+    #   paths that bypass the store's checksum records (changes the bytes
+    #   at rest — guarded by the golden byte-identical regression).
+    verify_reads: bool = False
+    page_checksums: bool = False
     # object store behaviour
     consistency: ConsistencyModel = EVENTUAL
     prefix_bits: int = 16
@@ -494,6 +507,7 @@ class Database:
                 rng=self.rng.substream("object-client"),
                 coalesce_gets=cfg.coalesce_gets,
                 coalesce_puts=cfg.coalesce_puts,
+                verify_reads=cfg.verify_reads,
             )
             if cfg.ocm_enabled:
                 ssd = scaled_profile(
@@ -530,6 +544,7 @@ class Database:
             return CloudDbspace(
                 USER_DBSPACE, io, self.key_cache,
                 prefix_bits=cfg.prefix_bits, encryptor=encryptor,
+                page_checksums=cfg.page_checksums,
             )
         if cfg.user_volume in ("ebs", "efs"):
             if cfg.user_volume == "ebs":
@@ -601,6 +616,7 @@ class Database:
             rng=self.rng.substream(f"object-client/{name}"),
             coalesce_gets=cfg.coalesce_gets,
             coalesce_puts=cfg.coalesce_puts,
+            verify_reads=cfg.verify_reads,
         )
         encryptor = (
             PageEncryptor(cfg.encryption_key)
@@ -616,6 +632,7 @@ class Database:
             prefix_bits=cfg.prefix_bits if prefix_bits is None else prefix_bits,
             encryptor=encryptor,
             page_size_limit=page_size,
+            page_checksums=cfg.page_checksums,
         )
         self.node.add_dbspace(name, dbspace)
         self.txn_manager.register_gc_dbspace(name, dbspace)

@@ -16,6 +16,11 @@ This is the storage subsystem's view of the bucket:
 - **hedged GETs** (optional): when a read's completion would land past the
   client's observed p99 GET latency, a second request is fired after that
   delay and the first completion wins — the classic tail-latency hedge;
+- **verified reads** (optional): every served payload's CRC-32C is checked
+  against the store's recorded checksum; mismatches retry as their own
+  category, trigger read-repair under a replicated store, and surface as
+  :class:`CorruptObjectError` only when no clean copy exists anywhere —
+  corrupt bytes never reach the engine;
 - **circuit breaker** (optional): after N consecutive transient failures
   the breaker opens and requests fail fast with
   :class:`CircuitOpenError`; after a cool-down, a half-open probe decides
@@ -46,8 +51,10 @@ import heapq
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.checksum import crc32c
 from repro.objectstore.errors import (
     CircuitOpenError,
+    CorruptObjectError,
     NoSuchKeyError,
     OverwriteForbiddenError,
     RetriesExhaustedError,
@@ -270,6 +277,7 @@ class RetryingObjectClient:
         coalesce_max_run: int = 16,
         coalesce_puts: bool = False,
         put_range_attempts: int = 2,
+        verify_reads: bool = False,
     ) -> None:
         if policy.max_attempts < 1:
             raise ValueError("retry policy must allow at least one attempt")
@@ -291,6 +299,11 @@ class RetryingObjectClient:
         self.coalesce_max_run = coalesce_max_run
         self.coalesce_puts = coalesce_puts
         self.put_range_attempts = put_range_attempts
+        # Verified reads: recompute CRC-32C over every served payload and
+        # compare against the store's recorded checksum.  A mismatch never
+        # reaches the caller — it retries as its own category (and under a
+        # replicated store triggers read-repair first).
+        self.verify_reads = verify_reads
         self.metrics = MetricsRegistry()
         self.tracer = NULL_TRACER
         self.hedge = hedge
@@ -445,24 +458,41 @@ class RetryingObjectClient:
             return max(latencies.percentile(self.hedge.quantile), 1e-9)
         return self.hedge.initial_delay
 
+    def _store_get(
+        self, key: str, when: float
+    ) -> "Tuple[Optional[bytes], Optional[int], float]":
+        """One raw store GET, with the expected checksum when verifying."""
+        if self.verify_reads and hasattr(self.store, "try_get_verified_at"):
+            return self.store.try_get_verified_at(
+                key, when, bandwidth=self.bandwidth, node=self.node_id
+            )
+        data, done = self.store.try_get_at(key, when,
+                                           bandwidth=self.bandwidth,
+                                           node=self.node_id)
+        return data, None, done
+
+    def _mismatched(self, data: "Optional[bytes]",
+                    expected: "Optional[int]") -> bool:
+        return (
+            self.verify_reads and data is not None
+            and expected is not None and crc32c(data) != expected
+        )
+
     def _try_get_once(
         self, key: str, when: float
-    ) -> "Tuple[Optional[bytes], float]":
+    ) -> "Tuple[Optional[bytes], Optional[int], float]":
         """One (possibly hedged) GET attempt against the store."""
         latencies = self._latency_histogram()
         if self.hedge is None:
-            data, done = self.store.try_get_at(key, when,
-                                               bandwidth=self.bandwidth,
-                                               node=self.node_id)
+            data, expected, done = self._store_get(key, when)
             latencies.observe(done - when)
-            return data, done
+            return data, expected, done
         delay = self._hedge_delay()
         primary_error: "Optional[TransientRequestError]" = None
         data: "Optional[bytes]" = None
+        expected: "Optional[int]" = None
         try:
-            data, done = self.store.try_get_at(key, when,
-                                               bandwidth=self.bandwidth,
-                                               node=self.node_id)
+            data, expected, done = self._store_get(key, when)
         except TransientRequestError as error:
             primary_error = error
             done = error.failed_at  # type: ignore[attr-defined]
@@ -470,36 +500,77 @@ class RetryingObjectClient:
             if primary_error is not None:
                 raise primary_error
             latencies.observe(done - when)
-            return data, done
+            return data, expected, done
         # The primary response would land past the hedge delay: fire the
         # hedge and take whichever completion comes first.
         self._bump("hedged_gets")
         try:
-            hedge_data, hedge_done = self.store.try_get_at(
-                key, when + delay, bandwidth=self.bandwidth, node=self.node_id
+            hedge_data, hedge_expected, hedge_done = self._store_get(
+                key, when + delay
             )
         except TransientRequestError:
             if primary_error is not None:
                 raise primary_error
             latencies.observe(done - when)
-            return data, done
+            return data, expected, done
         if primary_error is not None or hedge_done < done:
+            # The hedge won the race — but never hand up a corrupt winner
+            # when the slower primary completion is clean.
+            if (
+                primary_error is None
+                and self._mismatched(hedge_data, hedge_expected)
+                and not self._mismatched(data, expected)
+            ):
+                self._bump("hedge_mismatch")
+                latencies.observe(done - when)
+                return data, expected, done
             self._bump("hedge_wins")
             latencies.observe(hedge_done - when)
-            return hedge_data, hedge_done
+            return hedge_data, hedge_expected, hedge_done
+        # The primary won the race: same guard, mirrored.
+        if (
+            self._mismatched(data, expected)
+            and not self._mismatched(hedge_data, hedge_expected)
+        ):
+            self._bump("hedge_mismatch")
+            latencies.observe(hedge_done - when)
+            return hedge_data, hedge_expected, hedge_done
         latencies.observe(done - when)
-        return data, done
+        return data, expected, done
+
+    def _attempt_read_repair(self, key: str, when: float) -> int:
+        """Ask a replicated store to heal ``key`` from a healthy region."""
+        repair = getattr(self.store, "read_repair", None)
+        if repair is None:
+            return 0
+        span = self.tracer.begin("read_repair", "client", start=when,
+                                 key=key)
+        repaired = repair(key, when)
+        if repaired:
+            self._bump("read_repairs", repaired)
+        self.tracer.finish(span, end=when, repaired=repaired)
+        return repaired
 
     def get_at(self, key: str, now: float) -> "Tuple[bytes, float]":
-        """Read with retry on "no such key" and transient failures."""
+        """Read with retry on "no such key" and transient failures.
+
+        With ``verify_reads`` on, a served payload whose CRC-32C does not
+        match the store's recorded checksum is treated as a third retry
+        category (``checksum_mismatches``, distinct from transient-failure
+        and not-found retries): the client read-repairs the damaged copy
+        from a healthy replica when the store supports it, then retries.
+        Corrupt bytes are *never* returned; exhausting the budget on
+        mismatches raises :class:`CorruptObjectError`.
+        """
         span = self.tracer.begin("get", "client", start=now, key=key)
         when = now
         previous: "Optional[float]" = None
+        last_mismatch: "Optional[Tuple[Optional[int], int]]" = None
         try:
             for attempt in range(1, self.policy.max_attempts + 1):
                 self._admit(key, when, bypass=False)
                 try:
-                    data, done = self._try_get_once(key, when)
+                    data, expected, done = self._try_get_once(key, when)
                 except TransientRequestError as error:
                     failed_at = error.failed_at  # type: ignore[attr-defined]
                     self._note_failure(failed_at)
@@ -512,6 +583,20 @@ class RetryingObjectClient:
                     continue
                 self._note_success(done)
                 if data is not None:
+                    if self._mismatched(data, expected):
+                        actual = crc32c(data)
+                        last_mismatch = (expected, actual)
+                        self._bump("checksum_mismatches")
+                        self.tracer.record(
+                            "verify", "checksum_mismatch", when, done,
+                            key=key, attempt=attempt,
+                            expected=expected, actual=actual,
+                        )
+                        self._attempt_read_repair(key, done)
+                        previous = self._next_backoff(attempt, previous)
+                        when = done + previous
+                        self._check_deadline(key, now, when, attempt)
+                        continue
                     self.tracer.finish(span, end=done, attempts=attempt,
                                        nbytes=len(data))
                     span = None
@@ -523,6 +608,10 @@ class RetryingObjectClient:
                                    key=key, attempt=attempt,
                                    reason="not_found")
                 self._check_deadline(key, now, when, attempt)
+            if last_mismatch is not None:
+                raise CorruptObjectError(key, last_mismatch[0],
+                                         last_mismatch[1],
+                                         self.policy.max_attempts)
             raise RetriesExhaustedError(key, self.policy.max_attempts)
         finally:
             if span is not None:
@@ -699,21 +788,45 @@ class RetryingObjectClient:
         The range is a single store request: a transient failure fails
         (and retries) the whole range.  Per-key "not yet visible" results
         come back as ``None`` — the caller falls back to single GETs for
-        those, which carry the usual not-found retry schedule.
+        those, which carry the usual not-found retry schedule.  With
+        ``verify_reads`` on, keys whose payload fails its checksum are
+        demoted to ``None`` the same way (after a read-repair attempt):
+        the single-GET fallback carries the full verified-retry schedule.
         """
         anchor = names[0]
         span = self.tracer.begin("get_range", "client", start=now,
                                  key=anchor, count=len(names))
         when = now
         previous: "Optional[float]" = None
+        verified = (self.verify_reads
+                    and hasattr(self.store, "get_range_verified_at"))
         try:
             for attempt in range(1, self.policy.max_attempts + 1):
                 self._admit(anchor, when, bypass=False)
                 try:
-                    results, done = self.store.get_range_at(
-                        names, when, bandwidth=self.bandwidth,
-                        node=self.node_id,
-                    )
+                    if verified:
+                        results, expectations, done = (
+                            self.store.get_range_verified_at(
+                                names, when, bandwidth=self.bandwidth,
+                                node=self.node_id,
+                            )
+                        )
+                        for name in names:
+                            data = results.get(name)
+                            if self._mismatched(data,
+                                                expectations.get(name)):
+                                self._bump("checksum_mismatches")
+                                self.tracer.record(
+                                    "verify", "checksum_mismatch",
+                                    when, done, key=name, attempt=attempt,
+                                )
+                                self._attempt_read_repair(name, done)
+                                results[name] = None
+                    else:
+                        results, done = self.store.get_range_at(
+                            names, when, bandwidth=self.bandwidth,
+                            node=self.node_id,
+                        )
                 except TransientRequestError as error:
                     failed_at = error.failed_at  # type: ignore[attr-defined]
                     self._note_failure(failed_at)

@@ -29,6 +29,29 @@ class OverwriteForbiddenError(ObjectStoreError):
         self.key = key
 
 
+class CorruptObjectError(ObjectStoreError):
+    """A verified read kept failing its checksum and no healthy replica
+    could serve the object: the damage is at rest and unrepairable from
+    where the client stands (single region, or every region corrupt).
+
+    Raised *instead of* silently returning the damaged bytes — zero
+    corrupt bytes ever reach the executor.  ``expected``/``actual`` are
+    the CRC-32C values of the last attempt.
+    """
+
+    def __init__(self, key: str, expected: "int | None",
+                 actual: "int | None", attempts: int) -> None:
+        super().__init__(
+            f"checksum mismatch on key {key!r} after {attempts} verified "
+            f"attempts (expected {expected!r}, got {actual!r}); "
+            "no healthy replica could repair it"
+        )
+        self.key = key
+        self.expected = expected
+        self.actual = actual
+        self.attempts = attempts
+
+
 class RetriesExhaustedError(ObjectStoreError):
     """An operation kept failing past the configured retry budget.
 

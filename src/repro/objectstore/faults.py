@@ -28,9 +28,22 @@ coordinator kept it" or "us-east-1 went away" is one event.
 against the region fails while it is active, and the replication pump
 defers queued applies into the region until it lifts.
 
+Beyond availability faults, three *silent corruption* events model the
+failure mode checksums exist for — requests **succeed**, but the bytes
+are wrong:
+
+- :class:`BitRot` — matching payloads get ``flips`` substream-drawn bit
+  flips with probability ``probability`` (damage during a ``put`` window
+  persists at rest; during a ``get`` window it is transient);
+- :class:`TruncatedObject` — matching payloads are cut to a
+  substream-drawn prefix (a torn read / partial object);
+- :class:`StaleRead` — a ``get`` is served an *older* version's bytes
+  while the store still advertises the current version's checksum.
+
 Overlapping events compose: any active outage wins, error-storm
-probabilities combine to the maximum, latency multipliers multiply, and
-throttle factors take the minimum (harshest clamp).
+probabilities combine to the maximum, latency multipliers multiply,
+throttle factors take the minimum (harshest clamp), and corruption
+probabilities combine to the maximum per kind.
 """
 
 from __future__ import annotations
@@ -151,6 +164,55 @@ class ThrottleStorm(FaultEvent):
 
 
 @dataclass(frozen=True)
+class CorruptionEvent(FaultEvent):
+    """Base for silent-corruption events.
+
+    Matching requests *succeed* — no error is raised, no retry is
+    triggered by the store itself — but with ``probability`` the payload
+    is damaged.  Detection is entirely the checksum machinery's job,
+    which is the point: a store without verified reads serves the
+    damaged bytes straight to the executor.
+    """
+
+    probability: float = 0.25
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not 0.0 < self.probability <= 1.0:
+            raise ValueError(
+                f"corruption probability must be in (0, 1], "
+                f"got {self.probability!r}"
+            )
+
+
+@dataclass(frozen=True)
+class BitRot(CorruptionEvent):
+    """Flip ``flips`` deterministic substream-drawn bits of the payload."""
+
+    flips: int = 1
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.flips < 1:
+            raise ValueError(f"flips must be >= 1, got {self.flips!r}")
+
+
+@dataclass(frozen=True)
+class TruncatedObject(CorruptionEvent):
+    """Serve or store a substream-drawn strict prefix of the payload."""
+
+
+@dataclass(frozen=True)
+class StaleRead(CorruptionEvent):
+    """Serve a previous version's bytes for the current version.
+
+    Only meaningful on reads; the store pairs the stale bytes with the
+    *visible* version's checksum, so a verified reader detects the
+    mismatch while an unverified one silently consumes old data.
+    """
+
+
+@dataclass(frozen=True)
 class FaultDecision:
     """What the schedule prescribes for one request at one virtual time."""
 
@@ -158,6 +220,19 @@ class FaultDecision:
     error_probability: float = 0.0
     latency_multiplier: float = 1.0
     throttle_factor: float = 1.0
+    bitrot_probability: float = 0.0
+    bitrot_flips: int = 0
+    truncate_probability: float = 0.0
+    stale_probability: float = 0.0
+
+    @property
+    def corrupting(self) -> bool:
+        """Whether any silent-corruption event is active."""
+        return (
+            self.bitrot_probability > 0.0
+            or self.truncate_probability > 0.0
+            or self.stale_probability > 0.0
+        )
 
     @property
     def faulty(self) -> bool:
@@ -166,6 +241,7 @@ class FaultDecision:
             or self.error_probability > 0.0
             or self.latency_multiplier != 1.0
             or self.throttle_factor != 1.0
+            or self.corrupting
         )
 
 
@@ -203,8 +279,42 @@ class FaultSchedule:
 
     @property
     def horizon(self) -> float:
-        """Virtual time after which the schedule is permanently quiet."""
+        """Virtual time after which the schedule injects no new fault.
+
+        The maximum ``end`` over *every* event type, corruption events
+        included.  Note the caveat corruption introduces: a
+        :class:`BitRot`/:class:`TruncatedObject` window covering ``put``
+        damages objects *at rest*, and that damage outlives the window —
+        after the horizon no new fault fires, but previously stored
+        corrupt bytes remain until repaired (see
+        :attr:`leaves_residual_damage` and :mod:`repro.core.scrub`).
+        """
         return max((e.end for e in self._events), default=0.0)
+
+    @property
+    def corrupting(self) -> bool:
+        """Whether the schedule contains any corruption events at all.
+
+        Callers use this to decide whether verified reads are worth
+        their (small) CPU cost: a schedule of pure availability faults
+        (storms, outages, latency) never mutates payload bytes.
+        """
+        return any(isinstance(e, CorruptionEvent) for e in self._events)
+
+    @property
+    def leaves_residual_damage(self) -> bool:
+        """Whether the schedule can corrupt objects at rest.
+
+        True when any corruption event covers ``put``: the damage it
+        stores persists past :attr:`horizon` until read-repair or a
+        scrubber pass heals it.  Purely read-side corruption
+        (``ops="get"`` windows, :class:`StaleRead`) is transient.
+        """
+        return any(
+            isinstance(event, (BitRot, TruncatedObject))
+            and (event.ops is None or "put" in event.ops)
+            for event in self._events
+        )
 
     def decide(self, op: str, key: "Optional[str]", node: "Optional[str]",
                now: float, region: "Optional[str]" = None) -> FaultDecision:
@@ -213,6 +323,10 @@ class FaultSchedule:
         probability = 0.0
         multiplier = 1.0
         throttle = 1.0
+        bitrot = 0.0
+        flips = 0
+        truncate = 0.0
+        stale = 0.0
         for event in self._events:
             if not event.matches(op, key, node, now, region):
                 continue
@@ -224,9 +338,21 @@ class FaultSchedule:
                 multiplier *= event.multiplier
             elif isinstance(event, ThrottleStorm):
                 throttle = min(throttle, event.rate_factor)
-        if not outage and probability == 0.0 and multiplier == 1.0 and throttle == 1.0:
+            elif isinstance(event, BitRot):
+                bitrot = max(bitrot, event.probability)
+                flips = max(flips, event.flips)
+            elif isinstance(event, TruncatedObject):
+                truncate = max(truncate, event.probability)
+            elif isinstance(event, StaleRead):
+                stale = max(stale, event.probability)
+        if (
+            not outage and probability == 0.0 and multiplier == 1.0
+            and throttle == 1.0 and bitrot == 0.0 and truncate == 0.0
+            and stale == 0.0
+        ):
             return NO_FAULT
-        return FaultDecision(outage, probability, multiplier, throttle)
+        return FaultDecision(outage, probability, multiplier, throttle,
+                             bitrot, flips, truncate, stale)
 
     def __repr__(self) -> str:
         return f"FaultSchedule({self.name!r}, events={len(self._events)})"
@@ -270,11 +396,43 @@ def throttle_storm(start: float = 5.0, duration: float = 30.0,
     )
 
 
+def bitrot_schedule(start: float = 5.0, duration: float = 30.0,
+                    probability: float = 0.3, flips: int = 1) -> FaultSchedule:
+    """Silent bit rot over both paths: a ``get`` window serves flipped
+    bytes (transient — a verified retry heals it), overlapping a ``put``
+    window that stores flipped bytes at rest (persistent — only
+    read-repair or the scrubber heals it)."""
+    return FaultSchedule(
+        [
+            BitRot(start, start + duration, ops="get",
+                   probability=probability, flips=flips),
+            BitRot(start, start + duration, ops="put",
+                   probability=probability, flips=flips),
+        ],
+        name="bitrot",
+    )
+
+
+def torn_read_schedule(start: float = 5.0, duration: float = 30.0,
+                       probability: float = 0.3) -> FaultSchedule:
+    """Torn reads: matching GETs return a strict prefix of the object
+    (the partial-object hazard Stocator defends against)."""
+    return FaultSchedule(
+        [
+            TruncatedObject(start, start + duration, ops="get",
+                            probability=probability),
+        ],
+        name="torn-read",
+    )
+
+
 NAMED_SCHEDULES: "Dict[str, object]" = {
     "storm": canonical_storm,
     "outage": outage_only,
     "latency": latency_spike,
     "throttle": throttle_storm,
+    "bitrot": bitrot_schedule,
+    "torn-read": torn_read_schedule,
 }
 
 

@@ -6,8 +6,9 @@ inside :class:`~repro.objectstore.s3sim.SimulatedObjectStore`.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator
+from typing import Dict, Iterator, Optional, Tuple
 
+from repro.checksum import crc32c
 from repro.objectstore.base import ObjectStore
 from repro.objectstore.errors import NoSuchKeyError
 
@@ -17,6 +18,7 @@ class InMemoryObjectStore(ObjectStore):
 
     def __init__(self) -> None:
         self._objects: Dict[str, bytes] = {}
+        self._checksums: Dict[str, int] = {}
         self._bytes = 0
 
     def put(self, key: str, data: bytes) -> None:
@@ -25,7 +27,9 @@ class InMemoryObjectStore(ObjectStore):
         previous = self._objects.get(key)
         if previous is not None:
             self._bytes -= len(previous)
-        self._objects[key] = bytes(data)
+        payload = bytes(data)
+        self._objects[key] = payload
+        self._checksums[key] = crc32c(payload)
         self._bytes += len(data)
 
     def get(self, key: str) -> bytes:
@@ -34,8 +38,17 @@ class InMemoryObjectStore(ObjectStore):
         except KeyError:
             raise NoSuchKeyError(key) from None
 
+    def get_verified(self, key: str) -> "Tuple[bytes, int]":
+        """Return ``(data, expected_crc32c)`` for verified readers."""
+        data = self.get(key)
+        return data, self._checksums.get(key, crc32c(data))
+
+    def recorded_checksum(self, key: str) -> "Optional[int]":
+        return self._checksums.get(key)
+
     def delete(self, key: str) -> None:
         data = self._objects.pop(key, None)
+        self._checksums.pop(key, None)
         if data is not None:
             self._bytes -= len(data)
 

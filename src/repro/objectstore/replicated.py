@@ -39,6 +39,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
+from repro.checksum import crc32c
 from repro.objectstore.consistency import VersionedObject
 from repro.objectstore.faults import (
     FaultSchedule,
@@ -265,6 +266,13 @@ class ReplicatedObjectStore:
         store = self._stores[region]
         versioned = store._objects.setdefault(entry.key, VersionedObject())
         versioned.add_version(apply_time, entry.data, op_time=entry.op_time)
+        if entry.data is not None:
+            # The queue captured the caller's bytes at ack, so this IS the
+            # primary's checksum: applies preserve it verbatim even when
+            # the primary's own at-rest copy was damaged by a put-window
+            # corruption event.
+            store.record_checksum(entry.key, entry.op_time,
+                                  crc32c(entry.data))
         self.replication_metrics.counter("replication_applied").increment()
         # Outage-deferred applies are the documented exception to bounded
         # staleness; keeping their lag in a separate histogram lets the
@@ -382,6 +390,86 @@ class ReplicatedObjectStore:
         self.replication_metrics.counter("replication_promotions").increment()
         return drained
 
+    # ------------------------------------------------------------------ #
+    # read-repair (verified-read fallback and the scrubber's fix path)
+    # ------------------------------------------------------------------ #
+
+    def _latest_state(self, region: str, key: str):
+        """``(op_time, data, clean)`` of a region's latest copy, or None."""
+        store = self._stores[region]
+        versioned = store._objects.get(key)
+        idx = store._latest_version_index(versioned)
+        if idx is None:
+            return None
+        op_time, __, data = versioned._versions[idx]
+        if data is None:
+            return None
+        clean = crc32c(data) == store._checksum_for(key, op_time, data)
+        return op_time, data, clean
+
+    def read_repair(self, key: str, now: float) -> int:
+        """Overwrite damaged at-rest copies of ``key`` from clean ones.
+
+        A copy is only repaired from a source holding the *same version*
+        (matching op_time) — either another region's clean bytes or a
+        still-queued replication entry (clean by construction, captured
+        at ack).  Idempotent: rewriting clean bytes over clean bytes is a
+        no-op, so a crash between repair and re-verify is safe to retry.
+        Returns the number of repaired copies; unrepairable damage bumps
+        ``read_repair_failed`` and is left for quarantine.
+        """
+        self.pump(now)
+        states = {
+            region: self._latest_state(region, key)
+            for region in self.config.regions
+        }
+        repaired = 0
+        for region in self.config.regions:
+            state = states[region]
+            if state is None or state[2]:
+                continue
+            op_time = state[0]
+            source: "Optional[bytes]" = None
+            for other in self.config.regions:
+                other_state = states[other]
+                if (
+                    other is not region and other_state is not None
+                    and other_state[2] and other_state[0] == op_time
+                ):
+                    source = other_state[1]
+                    break
+            if source is None:
+                for queue_region in self.config.regions:
+                    entry = self._queues[queue_region].get(key)
+                    if (
+                        entry is not None and entry.data is not None
+                        and entry.op_time == op_time
+                    ):
+                        source = entry.data
+                        break
+            if source is None:
+                self.replication_metrics.counter(
+                    "read_repair_failed"
+                ).increment()
+                continue
+            self._stores[region].overwrite_latest(key, source)
+            states[region] = (op_time, source, True)
+            repaired += 1
+            self.replication_metrics.counter("read_repairs").increment()
+            self.replication_metrics.counter(
+                f"read_repairs:{region}"
+            ).increment()
+        return repaired
+
+    def recorded_checksum(self, key: str) -> "Optional[int]":
+        return self.primary.recorded_checksum(key)
+
+    def verify_at_rest(self, key: str) -> "Optional[bool]":
+        return self.primary.verify_at_rest(key)
+
+    def inject_damage(self, key: str, flips: int = 1) -> bool:
+        return self.primary.inject_damage(key, flips)
+
     def pending_for(self, region: str) -> "List[ReplicationEntry]":
         return [self._queues[region][k] for k in sorted(self._queues[region])]
 
@@ -447,6 +535,18 @@ class ReplicatedObjectStore:
                      node: "Optional[str]" = None):
         self.pump(now)
         return self.primary.get_range_at(keys, now, bandwidth, node)
+
+    def try_get_verified_at(self, key: str, now: float,
+                            bandwidth: "Optional[Pipe]" = None,
+                            node: "Optional[str]" = None):
+        self.pump(now)
+        return self.primary.try_get_verified_at(key, now, bandwidth, node)
+
+    def get_range_verified_at(self, keys: "Sequence[str]", now: float,
+                              bandwidth: "Optional[Pipe]" = None,
+                              node: "Optional[str]" = None):
+        self.pump(now)
+        return self.primary.get_range_verified_at(keys, now, bandwidth, node)
 
     def delete_at(self, key: str, now: float,
                   node: "Optional[str]" = None) -> float:

@@ -13,7 +13,14 @@ an in-memory version history:
   observe "no such key" (scenario 3 of Section 3) or stale data
   (scenario 2, only when a key is overwritten);
 - PUT/GET/DELETE counts are recorded against a
-  :class:`~repro.costs.meter.CostMeter`.
+  :class:`~repro.costs.meter.CostMeter`;
+- every accepted PUT records the CRC-32C of the *intended* payload (the
+  store's ETag) keyed by version op-time; scheduled corruption events
+  (:class:`~repro.objectstore.faults.BitRot` and friends) damage the
+  stored or served bytes *without* touching that record, so verified
+  readers (``try_get_verified_at``), the background scrubber and
+  ``repro fsck --deep`` can detect — and under replication repair — the
+  damage.
 
 Two APIs are exposed: the *timed* API (``put_at``/``try_get_at``/...)
 returns virtual completion times and never touches the clock — the engine's
@@ -41,6 +48,7 @@ from repro.sim.metrics import MetricsRegistry
 from repro.sim.pipes import Pipe, TokenBucket
 from repro.sim.rng import DeterministicRng
 from repro.sim.tracing import NULL_TRACER
+from repro.checksum import crc32c
 
 
 @dataclass(frozen=True)
@@ -116,6 +124,9 @@ class SimulatedObjectStore(ObjectStore):
         # must not perturb the put/get draws of an existing run.
         self._storm_rng = self._rng.substream("fault-storms")
         self._aux_failure_rng = self._rng.substream("aux-failures")
+        # Drawn only while a corruption event matches, so attaching (or
+        # ignoring) corruption never perturbs other streams.
+        self._corruption_rng = self._rng.substream("corruption")
         self._bandwidth = bandwidth or Pipe(
             profile.default_bandwidth, name=f"{profile.name}/bw"
         )
@@ -123,6 +134,13 @@ class SimulatedObjectStore(ObjectStore):
         self.metrics = MetricsRegistry()
         self.tracer = NULL_TRACER
         self._objects: Dict[str, VersionedObject] = {}
+        # key -> {version op_time -> CRC-32C of the *intended* payload},
+        # recorded at PUT admission before any at-rest damage is applied.
+        self._checksums: "Dict[str, Dict[float, int]]" = {}
+        # Expected checksum(s) of the last GET's served version(s);
+        # read back by the *_verified_at wrappers.
+        self._served_checksum: "Optional[int]" = None
+        self._served_checksums: "Dict[str, Optional[int]]" = {}
         self._prefix_put_buckets: Dict[str, TokenBucket] = {}
         self._prefix_get_buckets: Dict[str, TokenBucket] = {}
 
@@ -187,6 +205,123 @@ class SimulatedObjectStore(ObjectStore):
             self.metrics.counter("fault_storm_failures").increment()
             return "storm"
         return None
+
+    # --- checksum bookkeeping and scheduled corruption ----------------- #
+
+    def record_checksum(self, key: str, op_time: float, value: int) -> None:
+        """Record a version's clean checksum (replication applies use this
+        to preserve the primary's checksum verbatim)."""
+        self._checksums.setdefault(key, {})[op_time] = value
+
+    def _record_payload_checksum(self, key: str, op_time: float,
+                                 payload: bytes) -> None:
+        self._checksums.setdefault(key, {})[op_time] = crc32c(payload)
+
+    def _checksum_for(self, key: str, op_time: float,
+                      data: "Optional[bytes]") -> "Optional[int]":
+        """The expected checksum of one version.
+
+        Falls back to hashing the stored bytes for versions predating
+        checksum recording — at-rest damage is only ever applied *after*
+        the clean checksum was recorded, so the fallback never launders
+        corruption into a matching checksum.
+        """
+        if data is None:
+            return None
+        table = self._checksums.get(key)
+        if table is not None and op_time in table:
+            return table[op_time]
+        return crc32c(data)
+
+    @staticmethod
+    def _visible_version(versioned: VersionedObject, now: float,
+                         ) -> "Optional[Tuple[float, float, Optional[bytes]]]":
+        """The version a reader observes at ``now`` (LWW among visible)."""
+        best: "Optional[Tuple[float, float, Optional[bytes]]]" = None
+        for version in versioned._versions:
+            if version[1] <= now and (best is None or version[0] > best[0]):
+                best = version
+        return best
+
+    @staticmethod
+    def _latest_version_index(versioned: "Optional[VersionedObject]",
+                              ) -> "Optional[int]":
+        if versioned is None or not versioned._versions:
+            return None
+        return max(range(len(versioned._versions)),
+                   key=lambda i: versioned._versions[i][0])
+
+    def _flip_bits(self, data: bytes, flips: int) -> bytes:
+        if not data:
+            return data
+        damaged = bytearray(data)
+        nbits = len(damaged) * 8
+        for __ in range(flips):
+            pos = self._corruption_rng.randint(0, nbits - 1)
+            damaged[pos // 8] ^= 1 << (pos % 8)
+        return bytes(damaged)
+
+    def _corrupt_stored(self, payload: bytes, fault: FaultDecision) -> bytes:
+        """At-rest damage for a PUT matched by a corruption window.
+
+        The clean checksum was already recorded, so the damage is silent
+        but detectable; it persists until read-repair or a scrubber pass.
+        """
+        rng = self._corruption_rng
+        damaged = payload
+        if (
+            fault.truncate_probability > 0.0 and len(payload) > 1
+            and rng.random() < fault.truncate_probability
+        ):
+            damaged = payload[: rng.randint(0, len(payload) - 1)]
+            self.metrics.counter("fault_truncated_puts").increment()
+        if (
+            fault.bitrot_probability > 0.0
+            and rng.random() < fault.bitrot_probability
+        ):
+            damaged = self._flip_bits(damaged, fault.bitrot_flips)
+            self.metrics.counter("fault_bitrot_puts").increment()
+        if damaged is not payload:
+            self.metrics.counter("fault_corrupted_puts").increment()
+        return damaged
+
+    def _corrupt_served(self, versioned: VersionedObject, op_time: float,
+                        data: bytes, fault: FaultDecision) -> bytes:
+        """Transient read-side damage: the at-rest bytes stay intact, so
+        a (verified) retry of the same GET can come back clean."""
+        rng = self._corruption_rng
+        if (
+            fault.stale_probability > 0.0
+            and rng.random() < fault.stale_probability
+        ):
+            stale = self._stale_predecessor(versioned, op_time)
+            if stale is not None:
+                self.metrics.counter("fault_stale_reads_served").increment()
+                return stale
+        if (
+            fault.truncate_probability > 0.0 and len(data) > 1
+            and rng.random() < fault.truncate_probability
+        ):
+            self.metrics.counter("fault_truncated_reads").increment()
+            return data[: rng.randint(0, len(data) - 1)]
+        if (
+            fault.bitrot_probability > 0.0
+            and rng.random() < fault.bitrot_probability
+        ):
+            self.metrics.counter("fault_bitrot_reads").increment()
+            return self._flip_bits(data, fault.bitrot_flips)
+        return data
+
+    @staticmethod
+    def _stale_predecessor(versioned: VersionedObject,
+                           op_time: float) -> "Optional[bytes]":
+        """The newest non-tombstone version strictly older than ``op_time``."""
+        best: "Optional[Tuple[float, float, Optional[bytes]]]" = None
+        for version in versioned._versions:
+            if version[0] < op_time and version[2] is not None:
+                if best is None or version[0] > best[0]:
+                    best = version
+        return best[2] if best is not None else None
 
     def _record_requests(self, puts: int = 0, gets: int = 0, deletes: int = 0) -> None:
         if self.meter is not None:
@@ -266,7 +401,14 @@ class SimulatedObjectStore(ObjectStore):
         versioned = self._objects.setdefault(key, VersionedObject())
         if versioned.latest_data() is not None:
             self.metrics.counter("overwrites").increment()
-        versioned.add_version(completion + lag, bytes(data),
+        payload = bytes(data)
+        # The checksum of the *intended* payload is recorded at admission
+        # — before any scheduled corruption damages the stored bytes —
+        # exactly like a real store's ETag.
+        self._record_payload_checksum(key, completion, payload)
+        if fault.corrupting:
+            payload = self._corrupt_stored(payload, fault)
+        versioned.add_version(completion + lag, payload,
                               op_time=completion)
         return completion
 
@@ -328,7 +470,11 @@ class SimulatedObjectStore(ObjectStore):
             versioned = self._objects.setdefault(key, VersionedObject())
             if versioned.latest_data() is not None:
                 self.metrics.counter("overwrites").increment()
-            versioned.add_version(completion + lag, bytes(data),
+            payload = bytes(data)
+            self._record_payload_checksum(key, completion, payload)
+            if fault.corrupting:
+                payload = self._corrupt_stored(payload, fault)
+            versioned.add_version(completion + lag, payload,
                                   op_time=completion)
         return completion
 
@@ -341,6 +487,7 @@ class SimulatedObjectStore(ObjectStore):
         eventually-consistent "no such key" case.  Stale reads (possible only
         for overwritten keys) return the stale bytes and bump a counter.
         """
+        self._served_checksum = None
         fault = self._consult_schedule("get", key, now, node)
         start = self._get_bucket(self._prefix(key)).request(
             now, 1.0 / fault.throttle_factor
@@ -360,7 +507,9 @@ class SimulatedObjectStore(ObjectStore):
             error.failed_at = served_at  # type: ignore[attr-defined]
             raise error
         versioned = self._objects.get(key)
-        data = versioned.visible_data(served_at) if versioned is not None else None
+        version = (self._visible_version(versioned, served_at)
+                   if versioned is not None else None)
+        data = version[2] if version is not None else None
         if data is None:
             self.metrics.counter("get_misses").increment()
             self._trace_request("get", key, now, served_at,
@@ -368,6 +517,12 @@ class SimulatedObjectStore(ObjectStore):
             return None, served_at
         if versioned is not None and versioned.is_stale_read(served_at):
             self.metrics.counter("stale_reads").increment()
+        # The checksum the store *advertises* is the visible version's
+        # (its ETag) — corruption below changes the bytes, not the ETag,
+        # which is precisely what a verified reader detects.
+        self._served_checksum = self._checksum_for(key, version[0], data)
+        if fault.corrupting:
+            data = self._corrupt_served(versioned, version[0], data, fault)
         __, downloaded = (bandwidth or self._bandwidth).request(
             served_at, float(len(data))
         )
@@ -417,17 +572,25 @@ class SimulatedObjectStore(ObjectStore):
             error.failed_at = served_at  # type: ignore[attr-defined]
             raise error
         results: "Dict[str, Optional[bytes]]" = {}
+        self._served_checksums = {}
         total = 0
         for key in keys:
             versioned = self._objects.get(key)
-            data = (versioned.visible_data(served_at)
-                    if versioned is not None else None)
+            version = (self._visible_version(versioned, served_at)
+                       if versioned is not None else None)
+            data = version[2] if version is not None else None
             if data is None:
                 self.metrics.counter("get_misses").increment()
                 results[key] = None
+                self._served_checksums[key] = None
                 continue
             if versioned.is_stale_read(served_at):
                 self.metrics.counter("stale_reads").increment()
+            self._served_checksums[key] = self._checksum_for(
+                key, version[0], data
+            )
+            if fault.corrupting:
+                data = self._corrupt_served(versioned, version[0], data, fault)
             results[key] = data
             total += len(data)
         completion = served_at
@@ -441,6 +604,104 @@ class SimulatedObjectStore(ObjectStore):
         self._trace_request("get_range", anchor, now, completion,
                             nbytes=total, gets=1)
         return results, completion
+
+    def try_get_verified_at(self, key: str, now: float,
+                            bandwidth: "Optional[Pipe]" = None,
+                            node: "Optional[str]" = None,
+                            ) -> "Tuple[Optional[bytes], Optional[int], float]":
+        """:meth:`try_get_at` plus the served version's expected checksum.
+
+        Returns ``(data_or_None, expected_crc_or_None, completion)``.  The
+        caller compares ``crc32c(data)`` against the expected value; a
+        mismatch means the bytes were damaged in flight or at rest.
+        """
+        data, completion = self.try_get_at(key, now,
+                                           bandwidth=bandwidth, node=node)
+        return data, self._served_checksum, completion
+
+    def get_range_verified_at(self, keys: "Sequence[str]", now: float,
+                              bandwidth: "Optional[Pipe]" = None,
+                              node: "Optional[str]" = None,
+                              ) -> "Tuple[Dict[str, Optional[bytes]], Dict[str, Optional[int]], float]":
+        """:meth:`get_range_at` plus per-key expected checksums."""
+        results, completion = self.get_range_at(keys, now,
+                                                bandwidth=bandwidth, node=node)
+        return results, dict(self._served_checksums), completion
+
+    # ------------------------------------------------------------------ #
+    # repair surface (scrubber / read-repair / deep audit)
+    # ------------------------------------------------------------------ #
+
+    def recorded_checksum(self, key: str) -> "Optional[int]":
+        """Clean checksum of the latest version (``None`` if absent/tombstone)."""
+        versioned = self._objects.get(key)
+        idx = self._latest_version_index(versioned)
+        if idx is None:
+            return None
+        op_time, __, data = versioned._versions[idx]
+        if data is None:
+            return None
+        return self._checksum_for(key, op_time, data)
+
+    def verify_at_rest(self, key: str) -> "Optional[bool]":
+        """Whether the latest stored bytes match their recorded checksum.
+
+        Free of billing, RNG and time — used by the deep auditor and the
+        scrubber's damage probe (the scrubber separately charges its read
+        through its bandwidth budget).  ``None`` if the key is absent or
+        tombstoned.
+        """
+        versioned = self._objects.get(key)
+        idx = self._latest_version_index(versioned)
+        if idx is None:
+            return None
+        op_time, __, data = versioned._versions[idx]
+        if data is None:
+            return None
+        return crc32c(data) == self._checksum_for(key, op_time, data)
+
+    def overwrite_latest(self, key: str, data: bytes) -> bool:
+        """Replace the latest version's bytes in place (read-repair).
+
+        Preserves the version's op_time/visibility so repair is invisible
+        to the consistency model, and is idempotent: re-applying the same
+        clean bytes is a no-op.  Returns ``False`` for absent/tombstoned
+        keys.  Billing/pacing are the caller's job.
+        """
+        versioned = self._objects.get(key)
+        idx = self._latest_version_index(versioned)
+        if idx is None:
+            return False
+        op_time, visible_at, stored = versioned._versions[idx]
+        if stored is None:
+            return False
+        versioned._versions[idx] = (op_time, visible_at, bytes(data))
+        return True
+
+    def inject_damage(self, key: str, flips: int = 1) -> bool:
+        """Deterministically flip bits in the latest stored version.
+
+        Test/crash-explorer hook: uses fixed arithmetic (no RNG draw, so
+        injecting damage never perturbs any random stream) and records
+        the clean checksum first so the damage is *detectable*.
+        """
+        versioned = self._objects.get(key)
+        idx = self._latest_version_index(versioned)
+        if idx is None:
+            return False
+        op_time, visible_at, data = versioned._versions[idx]
+        if not data:
+            return False
+        self._checksums.setdefault(key, {}).setdefault(
+            op_time, crc32c(data)
+        )
+        damaged = bytearray(data)
+        nbits = len(damaged) * 8
+        for i in range(flips):
+            pos = (7919 * (i + 1)) % nbits
+            damaged[pos // 8] ^= 1 << (pos % 8)
+        versioned._versions[idx] = (op_time, visible_at, bytes(damaged))
+        return True
 
     def delete_at(self, key: str, now: float,
                   node: "Optional[str]" = None) -> float:

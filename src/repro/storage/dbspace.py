@@ -23,6 +23,7 @@ from typing import Dict, Iterable, List, Optional, Protocol, Sequence, Tuple
 
 from repro.blockstore.device import BlockDevice
 from repro.blockstore.freelist import Freelist
+from repro.checksum import open_page, seal_page
 from repro.objectstore.client import RetryingObjectClient
 from repro.sim.crashpoints import crash_point, register_crash_point
 from repro.storage.keys import hashed_object_name, object_key_from_name
@@ -359,6 +360,13 @@ class CloudDbspace(PageStore):
     With an ``encryptor``, page images are encrypted *before* entering the
     I/O path, so both the OCM's local cache and the objects at rest hold
     ciphertext only (Section 4).
+
+    With ``page_checksums``, every page image is framed with a CRC-32C
+    trailer header (:mod:`repro.checksum`) *inside* the encryption
+    envelope: seal applies trailer-then-encrypt, open applies
+    decrypt-then-verify.  The trailer travels with the page through every
+    path — OCM SSD cache, backups, replication — so damage is caught at
+    unseal even where the store's own checksum records are out of reach.
     """
 
     def __init__(
@@ -369,26 +377,32 @@ class CloudDbspace(PageStore):
         prefix_bits: int = 16,
         encryptor: "Optional[object]" = None,
         page_size_limit: "Optional[int]" = None,
+        page_checksums: bool = False,
     ) -> None:
         super().__init__(name, page_size_limit)
         self.io = io
         self.key_source = key_source
         self.prefix_bits = prefix_bits
         self.encryptor = encryptor
+        self.page_checksums = page_checksums
 
     @property
     def is_cloud(self) -> bool:
         return True
 
     def _seal(self, payload: bytes) -> bytes:
+        if self.page_checksums:
+            payload = seal_page(payload)
         if self.encryptor is None:
             return payload
         return self.encryptor.encrypt(payload)  # type: ignore[attr-defined]
 
     def _open(self, payload: bytes) -> bytes:
-        if self.encryptor is None:
-            return payload
-        return self.encryptor.decrypt(payload)  # type: ignore[attr-defined]
+        if self.encryptor is not None:
+            payload = self.encryptor.decrypt(payload)  # type: ignore[attr-defined]
+        if self.page_checksums:
+            payload = open_page(payload)
+        return payload
 
     def object_name(self, locator: int) -> str:
         if not is_object_key(locator):

@@ -69,6 +69,24 @@ def test_explicit_fixed_window_reproduces_golden(golden):
     assert _digest(run) == golden
 
 
+def test_integrity_knobs_off_reproduce_golden(golden):
+    """Checksumming off — implicitly or spelled out — changes no byte.
+
+    Checksums are *recorded* unconditionally at PUT time (pure
+    computation, no RNG draw, no timed request), but verification and
+    the page trailer are strictly opt-in; with both knobs at their
+    explicit-false defaults the run must still match the golden digest
+    captured before the integrity machinery existed.
+    """
+    run = VolumeRun(
+        "s3",
+        instance_type="m5ad.24xlarge",
+        verify_reads=False,
+        page_checksums=False,
+    )
+    assert _digest(run) == golden
+
+
 def test_single_scheduled_session_matches_inline_run():
     """The session scheduler must be invisible to single-stream work.
 
