@@ -137,6 +137,7 @@ def _payload(obj: str, page: int, gen: int, seed: int) -> bytes:
 
 def registered_points() -> "List[str]":
     """Every registered crash point (forces all instrumented imports)."""
+    import repro.core.autoscale  # noqa: F401  (registers the prewarm point)
     import repro.core.multiplex  # noqa: F401  (imports the whole engine)
     import repro.core.scrub  # noqa: F401  (registers the scrub points)
 
@@ -425,6 +426,154 @@ def run_multiplex_episode(
     if report.leaked:
         result.violations.append(
             f"writer restart GC leaked {len(report.leaked)} orphans"
+        )
+    return result
+
+
+# ---------------------------------------------------------------------- #
+# the scale episode (autoscale: pre-warm admit, drain-and-retire)
+# ---------------------------------------------------------------------- #
+
+SCALE_PREWARM_BUDGET = 4 * 1024 * 1024
+SCALE_ORPHANS = 2
+
+
+def run_scale_episode(
+    crash_point_name: "Optional[str]" = None,
+    seed: int = 0,
+    arm_skip: int = 0,
+) -> EpisodeResult:
+    """Kill a node mid scale-event; prove the scale cycle loses nothing.
+
+    One full autoscale cycle runs by hand: provision a secondary,
+    pre-warm its OCM from the coordinator's warm set, commit a
+    generation through it, upload orphans only its active set covers,
+    then drain-and-retire it.  The armed crash point kills the node
+    somewhere inside that cycle; the episode recovers exactly as the
+    controller's host would (restart the wounded node — restart GC
+    reclaims its orphans — then retire it for real) and retries the
+    cycle on a fresh node.  Afterwards: every committed generation reads
+    back through the coordinator, and the auditor finds no MISSING and
+    no LEAKED objects — a node dying mid-retire leaks nothing.
+    """
+    from repro.core.autoscale import prewarm_secondary
+
+    CRASH_POINTS.disarm_all()
+    result = EpisodeResult(crash_point=crash_point_name, seed=seed,
+                           mode="scale")
+    mux = Multiplex(base_config(seed), MultiplexConfig(
+        writers=1,
+        secondary_buffer_bytes=BUFFER_FRAMES * PAYLOAD_BYTES,
+        secondary_ocm_bytes=4 * 1024 * 1024,
+    ))
+    coordinator = mux.coordinator
+    writer = mux.node("writer-1")
+    expected: "Dict[Tuple[str, int], bytes]" = {}
+
+    def commit_via(node, obj: str, gen: int) -> None:
+        txn = node.begin()
+        staged = {}
+        for p in range(PAGES):
+            data = _payload(obj, p, gen, seed)
+            node.write_page(txn, obj, p, data)
+            staged[(obj, p)] = data
+        node.commit(txn)
+        expected.update(staged)
+
+    # Baseline, plus a warm coordinator OCM for pre-warm to donate from.
+    coordinator.create_object("t0")
+    commit_via(writer, "t0", 0)
+    txn = coordinator.begin()
+    for p in range(PAGES):
+        coordinator.read_page(txn, "t0", p)
+    coordinator.rollback(txn)
+
+    def recover_node(node) -> None:
+        for __ in range(MAX_RECOVERY_ATTEMPTS):
+            try:
+                node.restart()
+                return
+            except SimulatedCrash as exc:
+                result.crashes += 1
+                node.crash_from(exc)
+        result.violations.append("node restart did not converge")
+
+    def scale_cycle(gen: int) -> bool:
+        """One provision -> prewarm -> serve -> retire cycle; True if it
+        ran end to end without the armed point firing."""
+        node = mux.add_secondary("writer")
+        try:
+            prewarm_secondary(node, coordinator.ocm, SCALE_PREWARM_BUDGET)
+            commit_via(node, "t0", gen)
+            # Orphan uploads: store objects covered only by this node's
+            # active set — exactly what a mid-retire death would strand.
+            for i in range(SCALE_ORPHANS):
+                node.user_dbspace.write_page(
+                    _payload("orphan", i, gen, seed), commit_mode=True
+                )
+            mux.retire_secondary(node.node_id)
+            return True
+        except SimulatedCrash as exc:
+            result.crashes += 1
+            if node.node_id not in mux.nodes:
+                # The crash hit after detach: the retire itself already
+                # completed (flush + GC), nothing to clean up.
+                return False
+            node.crash_from(exc)
+            recover_node(node)
+            if not node.crashed:
+                try:
+                    mux.retire_secondary(node.node_id)
+                except SimulatedCrash as inner:
+                    result.crashes += 1
+                    if node.node_id in mux.nodes:
+                        node.crash_from(inner)
+                        recover_node(node)
+            return False
+
+    point = None
+    fired_before = 0
+    try:
+        if crash_point_name is not None:
+            point = CRASH_POINTS.point(crash_point_name)
+            fired_before = point.fired
+            CRASH_POINTS.arm(crash_point_name, skip=arm_skip)
+        for attempt in range(MAX_RECOVERY_ATTEMPTS):
+            if scale_cycle(attempt + 1):
+                break
+        else:
+            result.violations.append("scale cycle did not converge")
+    finally:
+        CRASH_POINTS.disarm_all()
+        if point is not None:
+            result.fired = point.fired - fired_before
+
+    # Wounded nodes that could not be retired (restart non-convergence)
+    # still get their keys reclaimed by coordinator-side GC.
+    coordinator.txn_manager.collect_garbage()
+
+    # Invariant 1: every committed generation survives, read cold via
+    # the coordinator (retired nodes' caches are gone by construction).
+    coordinator.node.invalidate_caches()
+    if coordinator.ocm is not None:
+        coordinator.ocm.invalidate_all()
+    txn = coordinator.begin()
+    for (obj, p), data in sorted(expected.items()):
+        if coordinator.read_page(txn, obj, p) != data:
+            result.violations.append(
+                f"data loss: committed page {obj!r}/{p} lost across the "
+                "scale cycle"
+            )
+    coordinator.rollback(txn)
+
+    # Invariants 2 and 3: nothing missing, mid-retire orphans all drained.
+    report = StoreAuditor(coordinator).audit()
+    result.report = report
+    if report.missing or report.snapshot_missing:
+        result.violations.append("MISSING objects after the scale episode")
+    if report.leaked:
+        result.violations.append(
+            f"scale episode leaked {len(report.leaked)} objects"
         )
     return result
 
@@ -861,6 +1010,10 @@ def run_episode(
                                         "replication.")):
             return run_failover_episode(crash_point_name, seed=seed,
                                         arm_skip=arm_skip)
+        if crash_point_name.startswith(("autoscale.",
+                                        "multiplex.retire.")):
+            return run_scale_episode(crash_point_name, seed=seed,
+                                     arm_skip=arm_skip)
         if crash_point_name.startswith("multiplex."):
             return run_multiplex_episode(crash_point_name, seed=seed,
                                          arm_skip=arm_skip)

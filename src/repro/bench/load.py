@@ -30,16 +30,32 @@ from __future__ import annotations
 import time
 from collections import deque
 from dataclasses import asdict, dataclass, field
-from typing import Deque, Dict, List, Optional, Tuple
+from typing import Callable, Deque, Dict, List, Optional, Tuple
 
-from repro.bench.configs import load_engine
+from repro.bench.configs import (
+    BENCH_PARTITIONS,
+    BENCH_ROWS_PER_PAGE,
+    CPU_PARALLEL_FRACTION,
+    bench_config,
+    load_engine,
+)
+from repro.columnar import ColumnStore
 from repro.columnar.query import QueryContext
+from repro.core.autoscale import (
+    COORDINATOR_ID,
+    AutoscaleConfig,
+    AutoscaleController,
+    AutoscaleSignals,
+    NodeRouter,
+)
+from repro.core.multiplex import Multiplex, MultiplexConfig
 from repro.sim.metrics import MetricsRegistry
 from repro.sim.sessions import Session, SessionScheduler
 from repro.sim.rng import DeterministicRng
+from repro.tpch import load_tpch
 from repro.tpch.queries import run_query
 
-SUMMARY_SCHEMA = "repro.load/v1"
+SUMMARY_SCHEMA = "repro.load/v2"
 
 LOOKUP_BANK = "pointbank"
 
@@ -86,17 +102,30 @@ class LoadConfig:
     burst_factor: float = 8.0         # bursty: rate multiplier inside a burst
     burst_duty: float = 0.2           # bursty: fraction of the period bursting
     burst_period: float = 4.0         # bursty: seconds per on/off cycle
-    admission_limit: int = 0          # max concurrent in-engine ops (0 = off)
+    admission_limit: int = 0          # concurrent in-engine ops, per serving
+                                      # node when nodes > 1 (0 = off)
     scale_factor: float = 0.002
     instance_type: str = "m5ad.4xlarge"
     tenants: "Tuple[TenantSpec, ...]" = DEFAULT_TENANTS
     lookup_pages: int = 48            # pages in the shared point-lookup bank
     churn_pages_per_op: int = 2
     query_numbers: "Tuple[int, ...]" = (1, 6)
+    nodes: int = 1                    # serving targets incl. the coordinator
+    autoscale: "Optional[AutoscaleConfig]" = None
 
     def __post_init__(self) -> None:
         if self.sessions < 1:
             raise ValueError("need at least one session")
+        if self.nodes < 1:
+            raise ValueError("need at least one serving node")
+        if self.autoscale is not None and not (
+            self.autoscale.min_nodes
+            <= self.nodes
+            <= self.autoscale.max_nodes
+        ):
+            raise ValueError(
+                "initial node count must lie inside the autoscale clamps"
+            )
         if self.profile not in ("poisson", "bursty", "closed"):
             raise ValueError(f"unknown arrival profile {self.profile!r}")
         if self.arrival_rate <= 0:
@@ -116,20 +145,33 @@ class AdmissionController:
     concurrency limit; ``release`` grants the freed slot to the next
     waiting *tenant* in round-robin order (FIFO within a tenant), so one
     chatty tenant class cannot starve the others out of admission.
+
+    With ``live_nodes`` attached the limit is *per serving node*: the
+    effective slot count is ``limit x live_nodes()``, so scaling the
+    multiplex out genuinely relieves admission pressure (the autoscaler
+    calls :meth:`kick` after admitting a node) and draining a node
+    shrinks capacity as its slots release.
     """
 
     def __init__(self, scheduler: SessionScheduler, limit: int,
-                 metrics: MetricsRegistry) -> None:
+                 metrics: MetricsRegistry,
+                 live_nodes: "Optional[Callable[[], int]]" = None) -> None:
         self.scheduler = scheduler
         self.limit = limit
         self.metrics = metrics
+        self.live_nodes = live_nodes
         self.in_flight = 0
         self._queues: "Dict[str, Deque[Session]]" = {}
         self._ring: "Deque[str]" = deque()
 
+    def effective_limit(self) -> int:
+        if self.live_nodes is None:
+            return self.limit
+        return self.limit * max(1, self.live_nodes())
+
     def acquire(self, session: Session, tenant: str) -> float:
         """Take a slot, waiting if needed; returns seconds spent waiting."""
-        if self.in_flight < self.limit:
+        if self.in_flight < self.effective_limit():
             self.in_flight += 1
             return 0.0
         queue = self._queues.get(tenant)
@@ -145,8 +187,17 @@ class AdmissionController:
         self.metrics.histogram("admission_wait_seconds").observe(waited)
         return waited
 
+    def queue_depth(self) -> int:
+        """Sessions currently parked waiting for admission (autoscale signal)."""
+        return sum(len(queue) for queue in self._queues.values())
+
     def release(self) -> None:
         """Free a slot; hand it to the next waiter, fairly across tenants."""
+        if self.in_flight > self.effective_limit():
+            # A node drained away while this op ran: retire the excess
+            # slot instead of transferring it.
+            self.in_flight -= 1
+            return
         for __ in range(len(self._ring)):
             tenant = self._ring[0]
             self._ring.rotate(-1)
@@ -157,6 +208,28 @@ class AdmissionController:
                 return
         self.in_flight -= 1
 
+    def kick(self) -> None:
+        """Admit waiters into capacity that appeared out of band.
+
+        ``release`` only ever transfers an existing slot; when a
+        scale-out raises the effective limit, parked sessions would
+        otherwise wait for the next release.  Grants stay round-robin
+        across tenants, one waiter per fresh slot.
+        """
+        while self.in_flight < self.effective_limit():
+            resumed = False
+            for __ in range(len(self._ring)):
+                tenant = self._ring[0]
+                self._ring.rotate(-1)
+                queue = self._queues[tenant]
+                if queue:
+                    self.scheduler.resume(queue.popleft())
+                    self.in_flight += 1
+                    resumed = True
+                    break
+            if not resumed:
+                return
+
 
 class LoadHarness:
     """Builds the engine, spawns the tenant sessions, renders the summary."""
@@ -165,27 +238,80 @@ class LoadHarness:
         self.config = config or LoadConfig()
         cfg = self.config
         self._wall_started = time.monotonic()
-        self.db, self.store, self.load_seconds = load_engine(
-            cfg.instance_type, "s3", cfg.scale_factor,
-            seed=cfg.seed,
-        )
+        self.multiplex: "Optional[Multiplex]" = None
+        self.router: "Optional[NodeRouter]" = None
+        if cfg.nodes == 1 and cfg.autoscale is None:
+            # Single-node runs keep the exact pre-multiplex path: the
+            # golden regression pins this byte-for-byte.
+            self.db, self.store, self.load_seconds = load_engine(
+                cfg.instance_type, "s3", cfg.scale_factor,
+                seed=cfg.seed,
+            )
+        else:
+            self.multiplex, self.store, self.load_seconds = (
+                self._load_multiplex()
+            )
+            self.db = self.multiplex.coordinator
+            self.router = NodeRouter()
+            self.router.add(COORDINATOR_ID, self.db)
+            for node in self.multiplex.secondaries():
+                self.router.add(node.node_id, node)
         self._rng = DeterministicRng(cfg.seed, "load-harness")
         self.metrics = MetricsRegistry()
         self.scheduler = self.db.new_session_scheduler()
         self.admission: "Optional[AdmissionController]" = (
-            AdmissionController(self.scheduler, cfg.admission_limit,
-                                self.metrics)
+            AdmissionController(
+                self.scheduler, cfg.admission_limit, self.metrics,
+                live_nodes=(
+                    self.router.live_count
+                    if self.router is not None else None
+                ),
+            )
             if cfg.admission_limit > 0 else None
         )
         self._stage_of: "Dict[int, int]" = {}       # session_id -> stage
         self._stage_windows: "List[Tuple[float, float]]" = []
         self._stage_sessions: "List[int]" = []
         self._churn_created: "Dict[str, int]" = {}  # object -> next page
+        # (finish_time, tenant, latency, met_slo) per op; the autoscaler's
+        # trailing-attainment signal and the pre-warm benchmark read it.
+        self._op_log: "List[Tuple[float, str, float, bool]]" = []
+        self._workload_remaining = cfg.sessions
+        self._controller: "Optional[AutoscaleController]" = None
         self._setup_lookup_bank()
         self._cold_caches()
         self._workload_started = self.db.clock.now()
 
     # -- setup ---------------------------------------------------------- #
+
+    def _load_multiplex(self) -> "Tuple[Multiplex, ColumnStore, float]":
+        """A TPC-H-loaded multiplex: bench-sized coordinator + secondaries.
+
+        Secondary nodes mirror the coordinator's bench sizing (buffer,
+        OCM, NIC, vcpus) so a static-N run is N of the same machine —
+        the comparison the $/query ablation needs.
+        """
+        cfg = self.config
+        base = bench_config(
+            cfg.instance_type, "s3", cfg.scale_factor, seed=cfg.seed
+        )
+        mux = Multiplex(base, MultiplexConfig(
+            writers=cfg.nodes - 1,
+            secondary_buffer_bytes=base.buffer_capacity_bytes,
+            secondary_ocm_bytes=base.ocm_capacity_bytes,
+            secondary_ocm_ssd_count=base.ocm_ssd_count,
+            secondary_nic_gbits=base.nic_gbits,
+            secondary_vcpus=base.vcpus,
+        ))
+        db = mux.coordinator
+        db.cpu.parallel_fraction = CPU_PARALLEL_FRACTION
+        for node in mux.secondaries():
+            node.cpu.parallel_fraction = CPU_PARALLEL_FRACTION
+        store = ColumnStore(db)
+        started = db.clock.now()
+        load_tpch(store, cfg.scale_factor, partitions=BENCH_PARTITIONS,
+                  rows_per_page=BENCH_ROWS_PER_PAGE)
+        return mux, store, db.clock.now() - started
 
     def _setup_lookup_bank(self) -> None:
         """A small shared object the point-lookup tenant reads pages of."""
@@ -201,6 +327,12 @@ class LoadHarness:
         if self.db.ocm is not None:
             self.db.ocm.drain_all()
             self.db.ocm.invalidate_all()
+        if self.multiplex is not None:
+            for node in self.multiplex.secondaries():
+                node.buffer.invalidate_all()
+                if node.ocm is not None:
+                    node.ocm.drain_all()
+                    node.ocm.invalidate_all()
 
     # -- arrivals -------------------------------------------------------- #
 
@@ -275,32 +407,69 @@ class LoadHarness:
         def body(session: Session) -> None:
             rng = self._rng.substream(f"session/{session.session_id}")
             clock = self.db.clock
-            for op_index in range(spec.ops_per_session):
-                if op_index and spec.think_mean > 0:
-                    session.sleep(rng.expovariate(1.0 / spec.think_mean))
-                if self.admission is not None:
-                    self.admission.acquire(session, spec.name)
-                started = clock.now()
-                try:
-                    self._run_op(spec, session, rng)
-                except Exception:
-                    self.metrics.counter("ops_failed").increment()
-                    self.metrics.counter(
-                        f"ops_failed:{spec.name}"
-                    ).increment()
-                else:
-                    self.metrics.counter("ops_completed").increment()
-                finally:
+            try:
+                for op_index in range(spec.ops_per_session):
+                    if op_index and spec.think_mean > 0:
+                        session.sleep(rng.expovariate(1.0 / spec.think_mean))
+                    waited = 0.0
                     if self.admission is not None:
-                        self.admission.release()
-                latency = clock.now() - started
-                self.metrics.histogram(f"latency:{spec.name}").observe(latency)
-                self.metrics.histogram(f"latency:stage{stage}").observe(latency)
+                        waited = self.admission.acquire(session, spec.name)
+                    started = clock.now()
+                    try:
+                        self._run_op(spec, session, rng)
+                    except Exception:
+                        self.metrics.counter("ops_failed").increment()
+                        self.metrics.counter(
+                            f"ops_failed:{spec.name}"
+                        ).increment()
+                    else:
+                        self.metrics.counter("ops_completed").increment()
+                    finally:
+                        if self.admission is not None:
+                            self.admission.release()
+                    latency = clock.now() - started
+                    # Latency histograms report in-engine service time;
+                    # the SLO is judged end to end — a session parked on
+                    # admission is still a client waiting for its answer.
+                    response = latency + waited
+                    if response <= spec.slo_seconds:
+                        self.metrics.counter(
+                            f"ops_within_slo:{spec.name}"
+                        ).increment()
+                    self.metrics.histogram(
+                        f"latency:{spec.name}"
+                    ).observe(latency)
+                    self.metrics.histogram(
+                        f"latency:stage{stage}"
+                    ).observe(latency)
+                    if self.router is not None:
+                        self._op_log.append((
+                            clock.now(), spec.name, response,
+                            response <= spec.slo_seconds,
+                        ))
+            finally:
+                # The autoscale controller's exit condition: it must stop
+                # polling once the workload drains or the scheduler would
+                # report a deadlock.
+                self._workload_remaining -= 1
         return body
 
     def _run_op(self, spec: TenantSpec, session: Session,
                 rng: DeterministicRng) -> None:
-        db = self.db
+        if self.router is not None:
+            node_id, target = self.router.acquire()
+        else:
+            node_id, target = COORDINATOR_ID, self.db
+        try:
+            self._run_op_on(spec, session, rng, target)
+        finally:
+            if self.router is not None:
+                self.router.release(node_id)
+                self.metrics.counter(f"ops_by_node:{node_id}").increment()
+
+    def _run_op_on(self, spec: TenantSpec, session: Session,
+                   rng: DeterministicRng, target) -> None:
+        db = target
         if spec.op == "lookup":
             page = rng.randint(0, self.config.lookup_pages - 1)
             txn = db.begin()
@@ -316,7 +485,9 @@ class LoadHarness:
             name = f"churn/{session.session_id}"
             next_page = self._churn_created.get(name)
             if next_page is None:
-                db.create_object(name)
+                # Catalog mutations stay on the coordinator (the multiplex
+                # shares one catalog); page writes go through the target.
+                self.db.create_object(name)
                 next_page = 0
             txn = db.begin()
             try:
@@ -331,6 +502,31 @@ class LoadHarness:
             except Exception:
                 db.rollback(txn)
                 raise
+
+    # -- autoscale signals ------------------------------------------------ #
+
+    def _autoscale_signals(self) -> AutoscaleSignals:
+        """Live load signals, all pure functions of the virtual clock."""
+        cfg = self.config
+        assert cfg.autoscale is not None and self.router is not None
+        now = self.db.clock.now()
+        horizon = now - cfg.autoscale.slo_window_seconds
+        attained = total = 0
+        for finished, __, ___, met in reversed(self._op_log):
+            if finished < horizon:
+                break
+            total += 1
+            if met:
+                attained += 1
+        return AutoscaleSignals(
+            queue_depth=(
+                self.admission.queue_depth()
+                if self.admission is not None else 0
+            ),
+            runnable_backlog=self.scheduler.runnable_backlog(),
+            slo_attainment=(attained / total) if total else None,
+            nodes=self.router.live_count(),
+        )
 
     # -- driving --------------------------------------------------------- #
 
@@ -348,6 +544,26 @@ class LoadHarness:
                 tenant=spec.name,
             )
             self._stage_of[session.session_id] = stage
+        if self.config.autoscale is not None:
+            assert self.multiplex is not None and self.router is not None
+            self._controller = AutoscaleController(
+                self.config.autoscale,
+                multiplex=self.multiplex,
+                router=self.router,
+                clock=self.db.clock,
+                epoch=epoch,
+                signals=self._autoscale_signals,
+                done=lambda: self._workload_remaining <= 0,
+                metrics=self.metrics,
+                prewarm_source=self.db.ocm,
+                on_change=(
+                    self.admission.kick
+                    if self.admission is not None else None
+                ),
+            )
+            self.scheduler.spawn(
+                self._controller.body, at=epoch, name="autoscale"
+            )
         self.scheduler.run()
         return self.summary()
 
@@ -375,8 +591,8 @@ class LoadHarness:
         tenants: "Dict[str, object]" = {}
         for spec in cfg.tenants:
             histogram = self.metrics.histogram(f"latency:{spec.name}")
-            attained = sum(
-                1 for v in histogram.values if v <= spec.slo_seconds
+            attained = int(
+                counters.get(f"ops_within_slo:{spec.name}", 0.0)
             )
             tenants[spec.name] = {
                 "sessions": tenant_sessions.get(spec.name, 0),
@@ -448,6 +664,40 @@ class LoadHarness:
                 },
                 "wait_seconds": self._tail(waits),
             }
+        routing: "Optional[Dict[str, int]]" = None
+        if self.router is not None:
+            routing = {
+                node_id: int(counters.get(f"ops_by_node:{node_id}", 0.0))
+                for node_id in self.router.ever_ids
+            }
+        autoscale: "Optional[Dict[str, object]]" = None
+        if cfg.autoscale is not None and self._controller is not None:
+            series = self.metrics.series("autoscale_node_count")
+            timeline = [
+                [round(when, 6), int(value)]
+                for when, value in series.samples
+            ]
+            per_stage_nodes: "List[Optional[int]]" = []
+            for window in self._stage_windows:
+                at_end = series.value_at(window[1])
+                per_stage_nodes.append(
+                    int(at_end) if at_end is not None else None
+                )
+            autoscale = {
+                "events": self._controller.events,
+                "node_count_timeline": timeline,
+                "per_stage_nodes": per_stage_nodes,
+                "final_nodes": self.router.live_count(),
+                "node_seconds": self._node_seconds(clock_seconds),
+                "decisions": {
+                    decision: int(counters.get(
+                        f"autoscale_decisions:{decision}", 0.0
+                    ))
+                    for decision in ("out", "in", "hold")
+                },
+                "scale_outs": int(counters.get("autoscale_scale_outs", 0.0)),
+                "scale_ins": int(counters.get("autoscale_scale_ins", 0.0)),
+            }
         return {
             "schema": SUMMARY_SCHEMA,
             "config": {
@@ -460,6 +710,11 @@ class LoadHarness:
                 "scale_factor": cfg.scale_factor,
                 "instance_type": cfg.instance_type,
                 "tenant_mix": [asdict(spec) for spec in cfg.tenants],
+                "nodes": cfg.nodes,
+                "autoscale": (
+                    asdict(cfg.autoscale)
+                    if cfg.autoscale is not None else None
+                ),
             },
             "clock_seconds": round(clock_seconds, 6),
             "ops": {
@@ -469,11 +724,32 @@ class LoadHarness:
             "tenants": tenants,
             "saturation": saturation,
             "admission": admission,
+            "routing": routing,
+            "autoscale": autoscale,
             "scheduler": {
                 "sessions": len(self.scheduler.sessions),
                 "handoffs": self.scheduler.handoffs,
             },
         }
+
+    def _node_seconds(self, clock_seconds: float) -> float:
+        """Step-function integral of the live node count over the run.
+
+        This is the cost driver: USD = node_seconds / 3600 x the instance
+        rate (plus object-store request charges).  The timeline starts at
+        the configured node count and steps at every recorded sample.
+        """
+        series = self.metrics.series("autoscale_node_count")
+        total = 0.0
+        cursor = 0.0
+        level = float(self.config.nodes)
+        for when, value in series.samples:
+            clamped = min(max(when, 0.0), clock_seconds)
+            total += level * (clamped - cursor)
+            cursor = clamped
+            level = value
+        total += level * max(0.0, clock_seconds - cursor)
+        return round(total, 6)
 
     @property
     def wall_seconds(self) -> float:

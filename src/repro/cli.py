@@ -364,7 +364,17 @@ def cmd_load(args: argparse.Namespace) -> int:
     import json
 
     from repro.bench.load import LoadConfig, LoadHarness
+    from repro.core.autoscale import AutoscaleConfig
 
+    autoscale = None
+    if args.autoscale:
+        floor = args.autoscale_min if args.autoscale_min is not None \
+            else args.nodes
+        autoscale = AutoscaleConfig(
+            min_nodes=floor,
+            max_nodes=args.autoscale_max,
+            prewarm=not args.no_prewarm,
+        )
     harness = LoadHarness(LoadConfig(
         sessions=args.sessions,
         seed=args.seed,
@@ -374,6 +384,8 @@ def cmd_load(args: argparse.Namespace) -> int:
         admission_limit=args.admission,
         scale_factor=args.scale_factor,
         instance_type=args.instance,
+        nodes=args.nodes,
+        autoscale=autoscale,
     ))
     summary = harness.run()
     if args.json:
@@ -430,6 +442,25 @@ def cmd_load(args: argparse.Namespace) -> int:
               f"{admission['waits']} waits "
               f"(p95 wait {admission['wait_seconds']['p95']:g}s), "
               f"by tenant {admission['waits_by_tenant']}")
+    if summary["routing"] is not None:
+        print()
+        print(f"routing (ops by node): {summary['routing']}")
+    if summary["autoscale"] is not None:
+        scale = summary["autoscale"]
+        print(f"autoscale: {scale['scale_outs']} scale-outs, "
+              f"{scale['scale_ins']} scale-ins, "
+              f"final {scale['final_nodes']} node(s), "
+              f"{scale['node_seconds']:g} node-seconds")
+        for event in scale["events"]:
+            detail = (
+                f"prewarmed {event['prewarmed_entries']} OCM entries"
+                if event["action"] == "scale_out"
+                else f"reclaimed {event['reclaimed_keys']} keys"
+            )
+            print(f"  t={event['started']:g}s {event['action']} "
+                  f"{event['node']} -> {event['nodes_after']} node(s) "
+                  f"({detail}; queue {event['queue_depth']}, "
+                  f"backlog {event['runnable_backlog']})")
     return 0
 
 
@@ -865,6 +896,19 @@ def build_parser() -> argparse.ArgumentParser:
                       help="max concurrent in-engine ops (0 = unlimited)")
     load.add_argument("--scale-factor", type=float, default=0.002)
     load.add_argument("--instance", default="m5ad.4xlarge")
+    load.add_argument("--nodes", type=int, default=1,
+                      help="serving nodes at t=0 (coordinator + multiplex "
+                           "secondaries, round-robin routed)")
+    load.add_argument("--autoscale", action="store_true",
+                      help="run the elastic controller: grow/shrink "
+                           "secondaries from live load signals")
+    load.add_argument("--autoscale-min", type=int, default=None,
+                      help="autoscale floor (default: --nodes)")
+    load.add_argument("--autoscale-max", type=int, default=4,
+                      help="autoscale ceiling, total serving nodes")
+    load.add_argument("--no-prewarm", action="store_true",
+                      help="skip OCM pre-warming on scale-out (cold-node "
+                           "control for the pre-warm ablation)")
     load.add_argument("--json", action="store_true",
                       help="print the machine-readable summary (stdout is "
                            "pure JSON; deterministic for a given config)")

@@ -1,0 +1,405 @@
+"""Deterministic elastic autoscaling for the multiplex (DESIGN.md §16).
+
+The paper's scale-out story (Figure 9) is static: secondary-node counts
+are swept offline and each point is a separate run.  Taurus-style
+compute/storage separation exists so compute can *track* load instead;
+this module closes that loop with a feedback controller that runs as an
+ordinary session on the virtual clock:
+
+- **signals** come from the live load harness — admission-queue depth,
+  trailing-window SLO attainment, and the session scheduler's runnable
+  backlog — all pure functions of virtual-clock state;
+- **decisions** go through hysteresis bands (distinct high/low
+  watermarks per signal), per-direction cooldowns and min/max node
+  clamps, so the controller neither flaps nor runs away;
+- **scale-out** models spin-up cost as a configured virtual delay, then
+  pre-warms the new node's OCM from the shared object store (bulk
+  ranged GETs over the hottest entries of a donor cache) *before* the
+  node is admitted to the routing ring;
+- **scale-in** drains-and-retires: the victim stops receiving new
+  operations, in-flight work finishes, pending write-backs flush, the
+  node's unconsumed key allocations are reclaimed by the same
+  coordinator-side GC a restart uses, and only then does it detach.
+
+Everything the controller reads or does is a deterministic function of
+the virtual clock and the seed, so an autoscaled run stays byte-identical
+across invocations — the property the load harness's CI smoke gates on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.sim.crashpoints import crash_point, register_crash_point
+
+CP_PREWARM_BEFORE_ADMIT = register_crash_point(
+    "autoscale.prewarm.before_admit",
+    "the new node's OCM was pre-warmed from the store but the node has "
+    "not been admitted to the routing ring yet",
+)
+
+#: Router id of the coordinator (always present, never retired).
+COORDINATOR_ID = "coordinator"
+
+
+class AutoscaleError(Exception):
+    """Invalid controller configuration or routing misuse."""
+
+
+@dataclass(frozen=True)
+class AutoscaleConfig:
+    """Controller shape: clamps, watermarks, cooldowns, scale-event costs.
+
+    Node counts are *total serving targets* — the coordinator plus the
+    multiplex secondaries — matching ``LoadConfig.nodes``.
+    """
+
+    min_nodes: int = 1
+    max_nodes: int = 4
+    interval_seconds: float = 0.5     # controller evaluation period
+    queue_high: int = 8               # admission queue depth: scale-out at/above
+    queue_low: int = 1                # ... scale-in at/below (hysteresis band)
+    backlog_high: int = 12            # scheduler runnable backlog watermarks
+    backlog_low: int = 2
+    slo_floor: float = 0.9            # trailing attainment below this -> out
+    slo_ceiling: float = 0.98         # scale-in only at/above this
+    slo_window_seconds: float = 5.0   # trailing window for attainment
+    cooldown_out_seconds: float = 2.0
+    cooldown_in_seconds: float = 6.0
+    spin_up_seconds: float = 1.5      # modeled node provisioning delay
+    drain_poll_seconds: float = 0.25  # retire: in-flight re-check period
+    prewarm: bool = True
+    prewarm_max_bytes: int = 8 * 1024 * 1024
+    node_kind: str = "writer"
+
+    def __post_init__(self) -> None:
+        if self.min_nodes < 1:
+            raise ValueError("min_nodes must keep at least the coordinator")
+        if self.max_nodes < self.min_nodes:
+            raise ValueError("max_nodes cannot be below min_nodes")
+        if self.interval_seconds <= 0:
+            raise ValueError("controller interval must be positive")
+        if self.queue_low > self.queue_high:
+            raise ValueError("queue watermarks must form a hysteresis band")
+        if self.backlog_low > self.backlog_high:
+            raise ValueError("backlog watermarks must form a hysteresis band")
+        if not 0.0 < self.slo_floor <= 1.0:
+            raise ValueError("slo_floor must be in (0, 1]")
+        if not self.slo_floor <= self.slo_ceiling <= 1.0:
+            raise ValueError("slo_ceiling must be in [slo_floor, 1]")
+        if self.spin_up_seconds < 0 or self.drain_poll_seconds <= 0:
+            raise ValueError("scale-event delays must be sensible")
+        if self.node_kind not in ("writer", "reader"):
+            raise ValueError(f"unknown node kind {self.node_kind!r}")
+
+
+@dataclass(frozen=True)
+class AutoscaleSignals:
+    """One controller observation, sampled at an evaluation tick."""
+
+    queue_depth: int                  # sessions parked on admission control
+    runnable_backlog: int             # due-but-unserved scheduler wakeups
+    slo_attainment: "Optional[float]"  # trailing window; None = no data yet
+    nodes: int                        # live serving targets right now
+
+
+def decide(
+    config: AutoscaleConfig,
+    signals: AutoscaleSignals,
+    now: float,
+    last_out_at: "Optional[float]" = None,
+    last_in_at: "Optional[float]" = None,
+) -> str:
+    """The controller's pure decision function: ``"out"|"in"|"hold"``.
+
+    Scale-out pressure wins over scale-in pressure when both fire in the
+    same tick (an overloaded queue with a momentarily idle backlog is
+    still overloaded).  Between the low and high watermarks is the
+    hysteresis band: hold.  Cooldowns are per direction, and a recent
+    scale-out also suppresses scale-in (the new node deserves a chance
+    to absorb load before being judged surplus).
+    """
+    want_out = (
+        signals.queue_depth >= config.queue_high
+        or signals.runnable_backlog >= config.backlog_high
+        or (
+            signals.slo_attainment is not None
+            and signals.slo_attainment < config.slo_floor
+        )
+    )
+    want_in = (
+        signals.queue_depth <= config.queue_low
+        and signals.runnable_backlog <= config.backlog_low
+        and (
+            signals.slo_attainment is None
+            or signals.slo_attainment >= config.slo_ceiling
+        )
+    )
+    if want_out:
+        if signals.nodes >= config.max_nodes:
+            return "hold"
+        if (
+            last_out_at is not None
+            and now - last_out_at < config.cooldown_out_seconds
+        ):
+            return "hold"
+        return "out"
+    if want_in:
+        if signals.nodes <= config.min_nodes:
+            return "hold"
+        if (
+            last_in_at is not None
+            and now - last_in_at < config.cooldown_in_seconds
+        ):
+            return "hold"
+        if (
+            last_out_at is not None
+            and now - last_out_at < config.cooldown_in_seconds
+        ):
+            return "hold"
+        return "in"
+    return "hold"
+
+
+def prewarm_secondary(node, source_ocm, max_bytes: int) -> int:
+    """Pre-warm a new node's OCM from a donor cache's hottest entries.
+
+    The donor's eviction policy already ranks its residents; the warm
+    set (hottest-first, budget-clamped to the smaller of ``max_bytes``
+    and the new node's OCM capacity) is fetched from the *shared object
+    store* through the new node's own client — bulk ranged GETs via the
+    coalescing ``get_many`` path — and filled onto its SSD.  Returns the
+    number of entries admitted.  The bracketing crash point models a
+    node dying after the warm fill but before taking traffic; pre-warm
+    is read-only, so the crash is benign by construction.
+    """
+    admitted = 0
+    if node.ocm is not None and source_ocm is not None:
+        budget = min(int(max_bytes), node.ocm.config.capacity_bytes)
+        names = source_ocm.warm_set(max_bytes=budget)
+        if names:
+            admitted = node.ocm.bulk_admit(names)
+    crash_point(CP_PREWARM_BEFORE_ADMIT)
+    return admitted
+
+
+class NodeRouter:
+    """Deterministic round-robin over live serving targets.
+
+    The router is the harness's single source of truth for *where* an
+    operation runs: ``acquire`` picks the next non-draining target and
+    counts it in flight, ``release`` returns the slot.  Draining a node
+    stops new acquisitions immediately; the retire path polls
+    ``in_flight`` until the node is idle.  No RNG is consulted — the
+    pick sequence is a pure function of the acquire order.
+    """
+
+    def __init__(self) -> None:
+        self._order: "List[str]" = []
+        self._targets: "Dict[str, object]" = {}
+        self._draining: "set" = set()
+        self._in_flight: "Dict[str, int]" = {}
+        self._cursor = 0
+        #: Every id ever admitted, in admission order (reporting).
+        self.ever_ids: "List[str]" = []
+
+    def add(self, node_id: str, target: object) -> None:
+        if node_id in self._targets:
+            raise AutoscaleError(f"node {node_id!r} already routed")
+        self._order.append(node_id)
+        self._targets[node_id] = target
+        self._in_flight.setdefault(node_id, 0)
+        if node_id not in self.ever_ids:
+            self.ever_ids.append(node_id)
+
+    def drain(self, node_id: str) -> None:
+        """Stop routing new operations to ``node_id`` (in-flight continue)."""
+        if node_id not in self._targets:
+            raise AutoscaleError(f"cannot drain unknown node {node_id!r}")
+        if node_id == COORDINATOR_ID:
+            raise AutoscaleError("the coordinator cannot be drained")
+        self._draining.add(node_id)
+
+    def remove(self, node_id: str) -> None:
+        """Detach a drained, idle node from the ring."""
+        if node_id not in self._targets:
+            raise AutoscaleError(f"cannot remove unknown node {node_id!r}")
+        if node_id not in self._draining:
+            raise AutoscaleError(f"node {node_id!r} must drain before removal")
+        if self._in_flight.get(node_id, 0):
+            raise AutoscaleError(f"node {node_id!r} still has in-flight ops")
+        self._order.remove(node_id)
+        del self._targets[node_id]
+        self._draining.discard(node_id)
+
+    def live_count(self) -> int:
+        return len(self._order) - len(self._draining)
+
+    def live_ids(self) -> "List[str]":
+        return [n for n in self._order if n not in self._draining]
+
+    def in_flight(self, node_id: str) -> int:
+        return self._in_flight.get(node_id, 0)
+
+    def acquire(self) -> "Tuple[str, object]":
+        """Pick the next live target round-robin; counts it in flight."""
+        if not self._order:
+            raise AutoscaleError("no serving targets routed")
+        for __ in range(len(self._order)):
+            node_id = self._order[self._cursor % len(self._order)]
+            self._cursor += 1
+            if node_id not in self._draining:
+                self._in_flight[node_id] += 1
+                return node_id, self._targets[node_id]
+        raise AutoscaleError("every routed node is draining")
+
+    def release(self, node_id: str) -> None:
+        count = self._in_flight.get(node_id, 0)
+        if count <= 0:
+            raise AutoscaleError(f"release without acquire on {node_id!r}")
+        self._in_flight[node_id] = count - 1
+
+
+class AutoscaleController:
+    """The feedback loop, run as one scheduler session on the shared clock.
+
+    Each tick: sleep the evaluation interval, sample the signals, run
+    :func:`decide`, and act.  Scale-out sleeps the modeled spin-up
+    delay, builds the node, pre-warms its OCM and only then admits it to
+    the router.  Scale-in drains the victim, polls until its in-flight
+    count reaches zero, then retires it through
+    :meth:`~repro.core.multiplex.Multiplex.retire_secondary`.  The loop
+    exits when the workload reports done, so the scheduler's
+    deadlock-freedom invariant holds.
+    """
+
+    def __init__(
+        self,
+        config: AutoscaleConfig,
+        multiplex,
+        router: NodeRouter,
+        clock,
+        epoch: float,
+        signals: "Callable[[], AutoscaleSignals]",
+        done: "Callable[[], bool]",
+        metrics,
+        prewarm_source=None,
+        on_change: "Optional[Callable[[], None]]" = None,
+    ) -> None:
+        self.config = config
+        self.multiplex = multiplex
+        self.router = router
+        self.clock = clock
+        self.metrics = metrics
+        self.prewarm_source = prewarm_source
+        #: Called after every completed scale event — the load harness
+        #: uses it to hand fresh admission slots to parked sessions.
+        self.on_change = on_change
+        self._epoch = epoch
+        self._signals = signals
+        self._done = done
+        self._last_out: "Optional[float]" = None
+        self._last_in: "Optional[float]" = None
+        self._added: "List[str]" = []
+        self.events: "List[Dict[str, object]]" = []
+        self._record_node_count()
+
+    # -- bookkeeping ----------------------------------------------------- #
+
+    def _record_node_count(self) -> None:
+        self.metrics.series("autoscale_node_count").record(
+            max(0.0, self.clock.now() - self._epoch),
+            float(self.router.live_count()),
+        )
+
+    def _record_event(self, action: str, node_id: str, started: float,
+                      signals: AutoscaleSignals, **extra: object) -> None:
+        event: "Dict[str, object]" = {
+            "action": action,
+            "node": node_id,
+            "started": round(started - self._epoch, 6),
+            "completed": round(self.clock.now() - self._epoch, 6),
+            "nodes_after": self.router.live_count(),
+            "queue_depth": signals.queue_depth,
+            "runnable_backlog": signals.runnable_backlog,
+            "slo_attainment": (
+                round(signals.slo_attainment, 6)
+                if signals.slo_attainment is not None else None
+            ),
+        }
+        event.update(extra)
+        self.events.append(event)
+        self._record_node_count()
+        if self.on_change is not None:
+            self.on_change()
+
+    # -- the session body ------------------------------------------------ #
+
+    def body(self, session) -> "List[Dict[str, object]]":
+        cfg = self.config
+        while not self._done():
+            session.sleep(cfg.interval_seconds)
+            if self._done():
+                break
+            signals = self._signals()
+            decision = decide(
+                cfg, signals, self.clock.now(), self._last_out, self._last_in
+            )
+            self.metrics.counter(f"autoscale_decisions:{decision}").increment()
+            if decision == "out":
+                self._scale_out(session, signals)
+            elif decision == "in":
+                self._scale_in(session, signals)
+        return self.events
+
+    # -- actuation ------------------------------------------------------- #
+
+    def _scale_out(self, session, signals: AutoscaleSignals) -> None:
+        cfg = self.config
+        started = self.clock.now()
+        # Spin-up cost: the paper's minutes-long node launch, collapsed
+        # to a configured virtual delay; load keeps running meanwhile.
+        if cfg.spin_up_seconds > 0:
+            session.sleep(cfg.spin_up_seconds)
+        node = self.multiplex.add_secondary(cfg.node_kind)
+        prewarmed = 0
+        if cfg.prewarm:
+            prewarmed = prewarm_secondary(
+                node, self.prewarm_source, cfg.prewarm_max_bytes
+            )
+        self.router.add(node.node_id, node)
+        self._added.append(node.node_id)
+        self._last_out = self.clock.now()
+        self.metrics.counter("autoscale_scale_outs").increment()
+        self._record_event(
+            "scale_out", node.node_id, started, signals,
+            prewarmed_entries=prewarmed,
+        )
+
+    def _pick_victim(self) -> "Optional[str]":
+        if self._added:
+            return self._added[-1]
+        for node_id in reversed(self.router.live_ids()):
+            if node_id != COORDINATOR_ID:
+                return node_id
+        return None
+
+    def _scale_in(self, session, signals: AutoscaleSignals) -> None:
+        cfg = self.config
+        victim = self._pick_victim()
+        if victim is None:
+            return
+        started = self.clock.now()
+        self.router.drain(victim)
+        while self.router.in_flight(victim) > 0:
+            session.sleep(cfg.drain_poll_seconds)
+        reclaimed = self.multiplex.retire_secondary(victim)
+        self.router.remove(victim)
+        if victim in self._added:
+            self._added.remove(victim)
+        self._last_in = self.clock.now()
+        self.metrics.counter("autoscale_scale_ins").increment()
+        self._record_event(
+            "scale_in", victim, started, signals, reclaimed_keys=reclaimed,
+        )

@@ -68,6 +68,16 @@ CP_FAILOVER_AFTER_PROMOTE = register_crash_point(
     "the secondary region was promoted but the failover has not been "
     "acknowledged to callers",
 )
+CP_RETIRE_BEFORE_FLUSH = register_crash_point(
+    "multiplex.retire.before_flush",
+    "drain-and-retire picked a victim and stopped admissions, but its "
+    "pending write-backs are not flushed yet",
+)
+CP_RETIRE_AFTER_DETACH = register_crash_point(
+    "multiplex.retire.after_detach",
+    "the retiring node flushed, was GCed and detached, but the "
+    "retirement has not been acknowledged to the controller",
+)
 
 
 class MultiplexError(Exception):
@@ -320,6 +330,10 @@ class Multiplex:
             self.nodes[node_id] = SecondaryNode(
                 node_id, "reader", self, self.config
             )
+        # Dynamically added nodes get monotonically increasing ids that
+        # are never reused after a retirement, so a node's RNG substreams
+        # and key-cache identity stay stable whatever the scale history.
+        self._node_seq = max(self.config.writers, self.config.readers) + 1
 
     @property
     def clock(self):
@@ -366,6 +380,76 @@ class Multiplex:
 
     def secondaries(self) -> "List[SecondaryNode]":
         return list(self.nodes.values())
+
+    # ------------------------------------------------------------------ #
+    # elastic scale-out / scale-in (DESIGN.md §16)
+    # ------------------------------------------------------------------ #
+
+    def add_secondary(self, kind: str = "writer",
+                      node_id: "Optional[str]" = None) -> SecondaryNode:
+        """Provision a new secondary at the current virtual time.
+
+        Construction itself is instantaneous — callers model spin-up
+        cost (the autoscaler sleeps a configured virtual delay before
+        calling this).  The new node inherits the coordinator's CPU
+        calibration so a scaled-out node is the same hardware as a
+        statically provisioned one.
+        """
+        if kind not in ("writer", "reader"):
+            raise MultiplexError(f"unknown node kind {kind!r}")
+        if node_id is None:
+            node_id = f"{kind}-{self._node_seq}"
+        if node_id in self.nodes:
+            raise MultiplexError(f"node {node_id!r} already exists")
+        self._node_seq += 1
+        node = SecondaryNode(node_id, kind, self, self.config)
+        node.cpu.parallel_fraction = self.coordinator.cpu.parallel_fraction
+        self.nodes[node_id] = node
+        self.coordinator.metrics.counter("autoscale_nodes_added").increment()
+        return node
+
+    def retire_secondary(self, node_id: str) -> int:
+        """Drain-and-retire a secondary (scale-in); returns keys reclaimed.
+
+        The caller must already have stopped routing new work to the
+        node and let in-flight operations finish; active transactions
+        refuse retirement.  Sequence: flush the node's pending OCM
+        write-backs (committed data is already on the store via
+        write-through-at-commit, so these are only background uploads),
+        reclaim its unconsumed key allocations through the same
+        coordinator-side GC a restart uses, then detach.  A crash on
+        either side of the flush degrades to ordinary node-crash
+        semantics — the explorer's scale episode proves no committed
+        data is lost and leaks drain.
+        """
+        node = self.node(node_id)
+        if node.crashed:
+            raise MultiplexError(f"cannot retire crashed node {node_id!r}")
+        manager = self.coordinator.txn_manager
+        for txn in manager.active_transactions():
+            if txn.node_id == node_id:
+                raise MultiplexError(
+                    f"cannot retire {node_id!r} with active transactions"
+                )
+        crash_point(CP_RETIRE_BEFORE_FLUSH)
+        with self.coordinator.tracer.span(
+            "retire_secondary", "autoscale", node=node_id
+        ):
+            if node.ocm is not None:
+                node.ocm.drain_all()
+            # Unconsumed allocations (the cached range and anything the
+            # active set still covers) go back through restart GC: any
+            # store object under those keys is by definition uncommitted.
+            node.key_cache.drop_cached_range()
+            reclaimed = self.restart_gc(node_id)
+            del self.nodes[node_id]
+            # Stray handles must not route new work to a retired node.
+            node.crashed = True
+        crash_point(CP_RETIRE_AFTER_DETACH)
+        metrics = self.coordinator.metrics
+        metrics.counter("autoscale_nodes_retired").increment()
+        metrics.counter("autoscale_retire_reclaimed_keys").increment(reclaimed)
+        return reclaimed
 
     # ------------------------------------------------------------------ #
     # coordinator-side services

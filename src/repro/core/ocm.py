@@ -559,6 +559,70 @@ class ObjectCacheManager(ObjectIO):
         return results, done
 
     # ------------------------------------------------------------------ #
+    # pre-warm export / bulk admission (autoscale scale-out)
+    # ------------------------------------------------------------------ #
+
+    def warm_set(self, max_bytes: "Optional[int]" = None,
+                 max_entries: "Optional[int]" = None) -> "List[str]":
+        """Hottest-first resident entry names, for pre-warming a peer OCM.
+
+        The eviction policy's victim order is coldest-first; reversing
+        it yields the warm set.  Only uploaded, policy-listed entries
+        qualify — pending write-backs are transaction state, not cache
+        heat — so every returned name is fetchable from the shared
+        store.  ``max_bytes`` clamps the budget as a hottest prefix (the
+        first entry always fits, so a tiny budget still warms something).
+        """
+        names: "List[str]" = []
+        total = 0
+        for name in reversed(list(self._policy.eviction_order())):
+            entry = self._entries.get(name)
+            if entry is None or not (entry.in_lru and entry.uploaded):
+                continue
+            if max_bytes is not None and names and total + entry.size > max_bytes:
+                break
+            names.append(name)
+            total += entry.size
+            if max_entries is not None and len(names) >= max_entries:
+                break
+            if max_bytes is not None and total >= max_bytes:
+                break
+        return names
+
+    def bulk_admit(self, names: "Sequence[str]") -> int:
+        """Fetch-and-cache a batch of objects (scale-out pre-warm).
+
+        Misses ride the client's coalescing ``get_many`` — adjacent keys
+        collapse into ranged GETs — and fill the SSD like ordinary
+        read-through.  The caller waits for the fills: a pre-warm that
+        overlapped admission would hand the first queries a saturated
+        SSD queue instead of a warm cache.  Returns entries admitted.
+        """
+        self._track_degradation()
+        todo = [name for name in names if name not in self._entries]
+        if not todo:
+            return 0
+        with self.tracer.span("bulk_admit", "ocm", count=len(todo)):
+            fetched = self.client.get_many(
+                todo, window=self.config.read_window
+            )
+            fill_start = self.clock.now()
+            last = fill_start
+            admitted_bytes = 0
+            for name in todo:
+                data = fetched[name]
+                fill_done = self.device.write(len(data), fill_start)
+                self.tracer.record("fill", "ssd", fill_start, fill_done,
+                                   key=name, nbytes=len(data))
+                self._insert(name, data, uploaded=True, in_lru=True)
+                admitted_bytes += len(data)
+                last = max(last, fill_done)
+            self.clock.advance_to(last)
+        self.metrics.counter("prewarm_admitted").increment(len(todo))
+        self.metrics.counter("prewarm_bytes").increment(admitted_bytes)
+        return len(todo)
+
+    # ------------------------------------------------------------------ #
     # writes
     # ------------------------------------------------------------------ #
 

@@ -143,6 +143,20 @@ class TimeSeries:
     def samples(self) -> "List[Tuple[float, float]]":
         return sorted(self._samples)
 
+    def value_at(self, when: float) -> "Optional[float]":
+        """Step-function read: the last recorded value at or before ``when``.
+
+        Gauges-over-time (node counts, queue depths) are step functions;
+        this answers "what was the value at time t" without the caller
+        re-sorting the samples.  Returns ``None`` before the first sample.
+        """
+        best_when: "Optional[float]" = None
+        best: "Optional[float]" = None
+        for t, value in self._samples:
+            if t <= when and (best_when is None or t >= best_when):
+                best_when, best = t, value
+        return best
+
     def bucketed_sum(self, bucket_seconds: float) -> "List[Tuple[float, float]]":
         """Sum sample values per fixed-width time bucket.
 

@@ -250,6 +250,26 @@ class SessionScheduler:
         return list(self._sessions)
 
     @property
+    def unfinished(self) -> int:
+        """Sessions spawned but not yet finished."""
+        return self._unfinished
+
+    def runnable_backlog(self, now: "Optional[float]" = None) -> int:
+        """Sessions due to run at or before ``now`` (default: current time).
+
+        A controller-style session reading this sees how far behind the
+        event loop is: parked wakeups that have already come due are
+        offered work the engine has not absorbed yet.  Purely a function
+        of the heap and the virtual clock, so reading it never perturbs
+        a run.
+        """
+        when = self.clock.now() if now is None else now
+        return sum(
+            1 for wake, __, session in self._heap
+            if wake <= when and not session.finished
+        )
+
+    @property
     def handoffs(self) -> int:
         """Number of session activations so far (scheduler overhead stat)."""
         return self._handoffs

@@ -10,11 +10,12 @@ from repro.bench.crash_explorer import (
     registered_points,
     run_churn_episode,
     run_episode,
+    run_scale_episode,
     explore_random,
 )
 
 # One point per protocol family: commit, GC, snapshot reap, restart GC,
-# multiplex restart, restore.
+# multiplex restart, restore, autoscale pre-warm, drain-and-retire.
 REPRESENTATIVE_POINTS = [
     "txn.commit.before_log",
     "txn.gc.after_apply_rf",
@@ -22,6 +23,9 @@ REPRESENTATIVE_POINTS = [
     "engine.restart_gc.mid_poll",
     "multiplex.restart_gc.mid_poll",
     "engine.restore.before_poll",
+    "autoscale.prewarm.before_admit",
+    "multiplex.retire.before_flush",
+    "multiplex.retire.after_detach",
 ]
 
 
@@ -65,6 +69,32 @@ def test_random_schedules_are_deterministic():
     ]
     assert summary(first) == summary(second)
     assert all(r.ok for r in first), [r.violations for r in first]
+
+
+def test_scale_episode_routes_and_recovers():
+    """A node dying mid-retire loses no committed data and leaks drain."""
+    for point in ("multiplex.retire.before_flush",
+                  "multiplex.retire.after_detach"):
+        result = run_episode(point, seed=0)
+        assert result.mode == "scale", point
+        assert result.ok, (point, result.violations)
+        assert result.fired >= 1 and result.crashes >= 1, point
+        assert result.report is not None and not result.report.leaked
+
+
+def test_scale_episode_clean_cycle():
+    result = run_scale_episode(None, seed=4)
+    assert result.ok, result.violations
+    assert result.fired == 0 and result.crashes == 0
+
+
+def test_prewarm_crash_is_benign():
+    """Dying after the warm fill but before taking traffic: read-only,
+    so recovery needs nothing beyond discarding the node."""
+    result = run_episode("autoscale.prewarm.before_admit", seed=0)
+    assert result.mode == "scale"
+    assert result.ok, result.violations
+    assert result.fired >= 1
 
 
 def test_episode_results_are_machine_readable():

@@ -22,6 +22,9 @@ import pytest
 from repro.bench.experiments import VolumeRun
 
 GOLDEN_PATH = Path(__file__).parent.parent / "data" / "fixed_window_golden.json"
+LOAD_GOLDEN_PATH = (
+    Path(__file__).parent.parent / "data" / "load_summary_golden.json"
+)
 
 STORE_KEYS = ("put_requests", "get_requests", "put_bytes", "get_bytes")
 
@@ -131,3 +134,37 @@ def test_single_scheduled_session_matches_inline_run():
     scheduled = digest(sched_db, session.result, sched_load)
 
     assert scheduled == inline
+
+
+@pytest.fixture(scope="module")
+def load_golden() -> dict:
+    with LOAD_GOLDEN_PATH.open() as handle:
+        return json.load(handle)
+
+
+def test_default_load_run_reproduces_golden(load_golden):
+    """The single-node load harness must not drift under autoscaling.
+
+    The elastic multiplex machinery (node routing, the controller
+    session, OCM pre-warming) is strictly opt-in: a plain `repro load`
+    with `nodes=1` and no autoscale config takes the exact pre-multiplex
+    engine path and must reproduce the committed summary byte-for-byte.
+    """
+    from repro.bench.load import LoadConfig, run_load
+
+    summary = run_load(LoadConfig(
+        sessions=40, seed=0, scale_factor=0.002, arrival_rate=20.0,
+    ))
+    assert json.loads(json.dumps(summary)) == load_golden
+
+
+def test_explicitly_disabled_autoscale_reproduces_golden(load_golden):
+    """Spelling the defaults out (`nodes=1, autoscale=None`) is the same
+    as not mentioning them — the knobs have no side channel."""
+    from repro.bench.load import LoadConfig, run_load
+
+    summary = run_load(LoadConfig(
+        sessions=40, seed=0, scale_factor=0.002, arrival_rate=20.0,
+        nodes=1, autoscale=None,
+    ))
+    assert json.loads(json.dumps(summary)) == load_golden

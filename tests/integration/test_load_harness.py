@@ -12,8 +12,15 @@ from repro.bench.load import (
     TenantSpec,
     run_load,
 )
+from repro.core.autoscale import AutoscaleConfig
 
 SMALL = dict(sessions=40, seed=0, scale_factor=0.002, arrival_rate=20.0)
+# Multi-node and autoscale runs use a hotter, smaller shape so scale
+# events actually fire within a few virtual seconds.
+MULTI = dict(sessions=24, seed=0, scale_factor=0.001, arrival_rate=30.0,
+             stages=2, admission_limit=4)
+SCALED = dict(sessions=60, seed=0, scale_factor=0.001, arrival_rate=60.0,
+              stages=3, admission_limit=3)
 
 
 @pytest.fixture(scope="module")
@@ -173,3 +180,102 @@ class TestContention:
         harness = LoadHarness(LoadConfig(**SMALL))
         harness.run()
         assert harness.wall_seconds < 60.0
+
+
+class TestMultiNodeRouting:
+    @pytest.fixture(scope="class")
+    def static_two(self):
+        return run_load(LoadConfig(**MULTI, nodes=2))
+
+    def test_single_node_reports_no_routing(self, small_summary):
+        assert small_summary["routing"] is None
+        assert small_summary["autoscale"] is None
+
+    def test_ops_spread_across_both_nodes(self, static_two):
+        routing = static_two["routing"]
+        assert set(routing) == {"coordinator", "writer-1"}
+        assert all(count > 0 for count in routing.values())
+        total = (static_two["ops"]["completed"]
+                 + static_two["ops"]["failed"])
+        assert sum(routing.values()) == total
+
+    def test_two_runs_byte_identical(self, static_two):
+        again = run_load(LoadConfig(**MULTI, nodes=2))
+        assert (
+            json.dumps(again, sort_keys=True)
+            == json.dumps(static_two, sort_keys=True)
+        )
+
+    def test_node_count_changes_the_run(self, static_two):
+        solo = run_load(LoadConfig(**MULTI))
+        assert solo["config"]["nodes"] == 1
+        assert static_two["config"]["nodes"] == 2
+        assert solo["clock_seconds"] != static_two["clock_seconds"] or (
+            json.dumps(solo, sort_keys=True)
+            != json.dumps(static_two, sort_keys=True)
+        )
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            LoadConfig(nodes=0)
+        with pytest.raises(ValueError):
+            LoadConfig(nodes=5,
+                       autoscale=AutoscaleConfig(min_nodes=1, max_nodes=4))
+
+
+class TestAutoscaledRuns:
+    @pytest.fixture(scope="class")
+    def scaled(self):
+        return run_load(LoadConfig(
+            **SCALED, nodes=1,
+            autoscale=AutoscaleConfig(min_nodes=1, max_nodes=3),
+        ))
+
+    def test_scale_out_fires_under_the_ramp(self, scaled):
+        scale = scaled["autoscale"]
+        assert scale["scale_outs"] >= 1
+        outs = [e for e in scale["events"] if e["action"] == "scale_out"]
+        assert outs and all(e["prewarmed_entries"] >= 0 for e in outs)
+
+    def test_dynamic_nodes_actually_serve(self, scaled):
+        routing = scaled["routing"]
+        dynamic = {n: c for n, c in routing.items() if n != "coordinator"}
+        assert dynamic and any(count > 0 for count in dynamic.values())
+        total = scaled["ops"]["completed"] + scaled["ops"]["failed"]
+        assert sum(routing.values()) == total
+
+    def test_node_count_stays_inside_clamps(self, scaled):
+        scale = scaled["autoscale"]
+        counts = [count for __, count in scale["node_count_timeline"]]
+        assert counts and all(1 <= count <= 3 for count in counts)
+        assert 1 <= scale["final_nodes"] <= 3
+        assert scale["node_seconds"] > 0.0
+
+    def test_events_are_ordered_and_annotated(self, scaled):
+        events = scaled["autoscale"]["events"]
+        starts = [e["started"] for e in events]
+        assert starts == sorted(starts)
+        for event in events:
+            assert event["completed"] >= event["started"]
+            assert event["queue_depth"] >= 0
+            assert event["runnable_backlog"] >= 0
+
+    def test_two_runs_byte_identical(self, scaled):
+        again = run_load(LoadConfig(
+            **SCALED, nodes=1,
+            autoscale=AutoscaleConfig(min_nodes=1, max_nodes=3),
+        ))
+        assert (
+            json.dumps(again, sort_keys=True)
+            == json.dumps(scaled, sort_keys=True)
+        )
+
+    def test_cold_scale_out_prewarms_nothing(self):
+        cold = run_load(LoadConfig(
+            **SCALED, nodes=1,
+            autoscale=AutoscaleConfig(min_nodes=1, max_nodes=3,
+                                      prewarm=False),
+        ))
+        outs = [e for e in cold["autoscale"]["events"]
+                if e["action"] == "scale_out"]
+        assert outs and all(e["prewarmed_entries"] == 0 for e in outs)

@@ -1,0 +1,467 @@
+"""Unit tests for the elastic autoscaler (DESIGN.md §16).
+
+Pure logic only — the decision table, the router's drain-and-retire
+state machine, warm-set selection and pre-warm admission run against
+tiny hand-built fixtures, never a TPC-H load.
+"""
+
+import pytest
+
+from repro.blockstore.profiles import nvme_ssd
+from repro.core.autoscale import (
+    COORDINATOR_ID,
+    AutoscaleConfig,
+    AutoscaleController,
+    AutoscaleError,
+    AutoscaleSignals,
+    NodeRouter,
+    decide,
+    prewarm_secondary,
+)
+from repro.core.multiplex import Multiplex, MultiplexConfig, MultiplexError
+from repro.core.ocm import ObjectCacheManager, OcmConfig
+from repro.engine import DatabaseConfig
+from repro.objectstore import RetryingObjectClient, SimulatedObjectStore
+from repro.objectstore.consistency import STRONG
+from repro.objectstore.s3sim import ObjectStoreProfile
+from repro.sim.clock import VirtualClock
+from repro.sim.metrics import MetricsRegistry
+from repro.sim.sessions import SessionScheduler
+
+
+CFG = AutoscaleConfig()
+
+
+def signals(queue=0, backlog=0, slo=None, nodes=2):
+    return AutoscaleSignals(queue_depth=queue, runnable_backlog=backlog,
+                            slo_attainment=slo, nodes=nodes)
+
+
+# --------------------------------------------------------------------- #
+# configuration validation
+# --------------------------------------------------------------------- #
+
+@pytest.mark.parametrize("overrides", [
+    dict(min_nodes=0),
+    dict(max_nodes=0, min_nodes=1),
+    dict(interval_seconds=0.0),
+    dict(queue_low=9, queue_high=8),
+    dict(backlog_low=13, backlog_high=12),
+    dict(slo_floor=0.0),
+    dict(slo_floor=1.1),
+    dict(slo_ceiling=0.5, slo_floor=0.9),
+    dict(drain_poll_seconds=0.0),
+    dict(node_kind="quorum"),
+])
+def test_config_rejects_nonsense(overrides):
+    with pytest.raises(ValueError):
+        AutoscaleConfig(**overrides)
+
+
+def test_config_defaults_are_valid():
+    cfg = AutoscaleConfig()
+    assert cfg.min_nodes <= cfg.max_nodes
+    assert cfg.queue_low <= cfg.queue_high
+    assert cfg.slo_floor <= cfg.slo_ceiling
+
+
+# --------------------------------------------------------------------- #
+# the decision table
+# --------------------------------------------------------------------- #
+
+def test_queue_high_watermark_scales_out():
+    assert decide(CFG, signals(queue=CFG.queue_high), 10.0) == "out"
+    assert decide(CFG, signals(queue=CFG.queue_high - 1), 10.0) == "hold"
+
+
+def test_backlog_high_watermark_scales_out():
+    assert decide(CFG, signals(backlog=CFG.backlog_high), 10.0) == "out"
+    assert decide(CFG, signals(backlog=CFG.backlog_high - 1), 10.0) == "hold"
+
+
+def test_slo_floor_scales_out():
+    assert decide(CFG, signals(slo=CFG.slo_floor - 0.01), 10.0) == "out"
+    assert decide(CFG, signals(slo=CFG.slo_floor), 10.0) == "hold"
+
+
+def test_inside_hysteresis_band_holds():
+    # Above the low watermarks but below the high ones: neither direction.
+    sig = signals(queue=CFG.queue_low + 1, backlog=CFG.backlog_low + 1,
+                  slo=(CFG.slo_floor + CFG.slo_ceiling) / 2)
+    assert decide(CFG, sig, 10.0) == "hold"
+
+
+def test_idle_signals_scale_in():
+    sig = signals(queue=CFG.queue_low, backlog=CFG.backlog_low,
+                  slo=CFG.slo_ceiling)
+    assert decide(CFG, sig, 100.0) == "in"
+
+
+def test_no_slo_data_still_allows_scale_in():
+    assert decide(CFG, signals(slo=None), 100.0) == "in"
+
+
+def test_slo_below_ceiling_blocks_scale_in():
+    sig = signals(slo=CFG.slo_ceiling - 0.01)
+    assert decide(CFG, sig, 100.0) == "hold"
+
+
+def test_max_nodes_clamps_scale_out():
+    sig = signals(queue=CFG.queue_high, nodes=CFG.max_nodes)
+    assert decide(CFG, sig, 10.0) == "hold"
+
+
+def test_min_nodes_clamps_scale_in():
+    assert decide(CFG, signals(nodes=CFG.min_nodes), 100.0) == "hold"
+
+
+def test_out_cooldown_suppresses_then_expires():
+    sig = signals(queue=CFG.queue_high)
+    recent = 10.0 - CFG.cooldown_out_seconds / 2
+    assert decide(CFG, sig, 10.0, last_out_at=recent) == "hold"
+    expired = 10.0 - CFG.cooldown_out_seconds
+    assert decide(CFG, sig, 10.0, last_out_at=expired) == "out"
+
+
+def test_in_cooldown_suppresses_then_expires():
+    recent = 100.0 - CFG.cooldown_in_seconds / 2
+    assert decide(CFG, signals(), 100.0, last_in_at=recent) == "hold"
+    expired = 100.0 - CFG.cooldown_in_seconds
+    assert decide(CFG, signals(), 100.0, last_in_at=expired) == "in"
+
+
+def test_recent_scale_out_suppresses_scale_in():
+    # The new node deserves a chance before being judged surplus.
+    recent = 100.0 - CFG.cooldown_in_seconds / 2
+    assert decide(CFG, signals(), 100.0, last_out_at=recent) == "hold"
+
+
+def test_simultaneous_pressure_prefers_out():
+    # A degenerate band (low == high) can fire both directions at once;
+    # an overloaded queue wins over idle-looking companions.
+    cfg = AutoscaleConfig(queue_low=5, queue_high=5)
+    sig = signals(queue=5, backlog=0, slo=None)
+    assert decide(cfg, sig, 100.0) == "out"
+
+
+# --------------------------------------------------------------------- #
+# the router
+# --------------------------------------------------------------------- #
+
+def make_router():
+    router = NodeRouter()
+    router.add(COORDINATOR_ID, "c")
+    router.add("writer-1", "w1")
+    router.add("writer-2", "w2")
+    return router
+
+
+def test_round_robin_cycles_live_nodes():
+    router = make_router()
+    picks = [router.acquire()[0] for __ in range(6)]
+    assert picks == [COORDINATOR_ID, "writer-1", "writer-2"] * 2
+
+
+def test_duplicate_add_rejected():
+    router = make_router()
+    with pytest.raises(AutoscaleError):
+        router.add("writer-1", "dup")
+
+
+def test_drain_stops_new_acquisitions():
+    router = make_router()
+    router.drain("writer-1")
+    assert router.live_count() == 2
+    picks = {router.acquire()[0] for __ in range(4)}
+    assert "writer-1" not in picks
+
+
+def test_coordinator_cannot_drain():
+    router = make_router()
+    with pytest.raises(AutoscaleError):
+        router.drain(COORDINATOR_ID)
+
+
+def test_remove_requires_drain_then_idle():
+    router = make_router()
+    with pytest.raises(AutoscaleError):
+        router.remove("writer-1")          # never drained
+    # Pin an op in flight on writer-1, then drain it.
+    while True:
+        node_id, __ = router.acquire()
+        if node_id == "writer-1":
+            break
+        router.release(node_id)
+    router.drain("writer-1")
+    with pytest.raises(AutoscaleError):
+        router.remove("writer-1")          # still in flight
+    router.release("writer-1")
+    router.remove("writer-1")
+    assert router.live_ids() == [COORDINATOR_ID, "writer-2"]
+    assert "writer-1" in router.ever_ids   # reporting remembers it
+
+
+def test_release_without_acquire_rejected():
+    router = make_router()
+    with pytest.raises(AutoscaleError):
+        router.release("writer-1")
+
+
+def test_acquire_with_everything_draining_rejected():
+    router = NodeRouter()
+    router.add("writer-1", "w1")
+    router.drain("writer-1")
+    with pytest.raises(AutoscaleError):
+        router.acquire()
+
+
+# --------------------------------------------------------------------- #
+# warm-set selection and pre-warm admission
+# --------------------------------------------------------------------- #
+
+def make_shared_ocms(capacity=1 << 20):
+    """Donor and recipient OCMs over one shared object store."""
+    clock = VirtualClock()
+    profile = ObjectStoreProfile(name="s3", consistency=STRONG,
+                                 transient_failure_probability=0.0,
+                                 latency_jitter=0.0)
+    store = SimulatedObjectStore(profile, clock=clock)
+    donor = ObjectCacheManager(RetryingObjectClient(store), nvme_ssd(),
+                               OcmConfig(capacity_bytes=capacity))
+    recipient = ObjectCacheManager(RetryingObjectClient(store), nvme_ssd(),
+                                   OcmConfig(capacity_bytes=capacity))
+    return donor, recipient, store, clock
+
+
+def seed_donor(donor, store, names, size=256):
+    for name in names:
+        store.put(name, name.encode() * (size // len(name)))
+    for name in names:       # read-through: uploaded + LRU-resident
+        donor.get(name)
+
+
+def test_warm_set_is_hottest_first():
+    donor, __, store, ___ = make_shared_ocms()
+    seed_donor(donor, store, ["a", "b", "c"])
+    donor.get("a")           # re-touch: "a" is now the hottest
+    assert donor.warm_set() == ["a", "c", "b"]
+
+
+def test_warm_set_respects_byte_budget():
+    donor, __, store, ___ = make_shared_ocms()
+    seed_donor(donor, store, ["a", "b", "c"], size=256)
+    sizes = {n: len(store.get(n)) for n in ("a", "b", "c")}
+    budget = sizes["c"] + sizes["b"]
+    names = donor.warm_set(max_bytes=budget)
+    assert names == ["c", "b"]
+    # A budget smaller than any entry still yields the hottest one.
+    assert donor.warm_set(max_bytes=1) == ["c"]
+
+
+def test_warm_set_respects_entry_budget():
+    donor, __, store, ___ = make_shared_ocms()
+    seed_donor(donor, store, ["a", "b", "c"])
+    assert donor.warm_set(max_entries=2) == ["c", "b"]
+
+
+def test_bulk_admit_fills_recipient_as_hits():
+    donor, recipient, store, __ = make_shared_ocms()
+    seed_donor(donor, store, ["a", "b", "c"])
+    admitted = recipient.bulk_admit(donor.warm_set())
+    assert admitted == 3
+    before = recipient.stats()["misses"]
+    for name in ("a", "b", "c"):
+        assert recipient.get(name) == store.get(name)
+    assert recipient.stats()["misses"] == before  # all pre-warmed hits
+
+
+def test_bulk_admit_skips_already_resident():
+    donor, recipient, store, __ = make_shared_ocms()
+    seed_donor(donor, store, ["a", "b"])
+    recipient.get("a")
+    assert recipient.bulk_admit(["a", "b"]) == 1
+
+
+def test_prewarm_secondary_clamps_to_recipient_capacity():
+    donor, __, store, ___ = make_shared_ocms()
+    seed_donor(donor, store, ["a", "b", "c"], size=256)
+
+    class FakeNode:
+        pass
+
+    node = FakeNode()
+    sizes = {n: len(store.get(n)) for n in ("a", "b", "c")}
+    small = ObjectCacheManager(
+        RetryingObjectClient(store), nvme_ssd(),
+        OcmConfig(capacity_bytes=sizes["c"] + sizes["b"]),
+    )
+    node.ocm = small
+    # The donor offers 3 entries; the recipient only has room for 2.
+    assert prewarm_secondary(node, donor, max_bytes=1 << 30) == 2
+
+
+def test_prewarm_secondary_tolerates_missing_caches():
+    class FakeNode:
+        ocm = None
+
+    assert prewarm_secondary(FakeNode(), None, max_bytes=1 << 20) == 0
+
+
+# --------------------------------------------------------------------- #
+# the controller loop (scripted signals, fake multiplex)
+# --------------------------------------------------------------------- #
+
+class FakeNode:
+    def __init__(self, node_id):
+        self.node_id = node_id
+        self.ocm = None
+
+
+class FakeMultiplex:
+    def __init__(self):
+        self.seq = 1
+        self.retired = []
+
+    def add_secondary(self, kind):
+        node = FakeNode(f"{kind}-{self.seq}")
+        self.seq += 1
+        return node
+
+    def retire_secondary(self, node_id):
+        self.retired.append(node_id)
+        return 3
+
+
+def drive_controller(script, cfg=None, ticks=None):
+    """Run the controller against a scripted queue-depth sequence."""
+    cfg = cfg or AutoscaleConfig(
+        interval_seconds=1.0, cooldown_out_seconds=0.0,
+        cooldown_in_seconds=0.0, spin_up_seconds=0.5,
+        prewarm=False, min_nodes=1, max_nodes=3,
+    )
+    clock = VirtualClock()
+    scheduler = SessionScheduler(clock)
+    router = NodeRouter()
+    router.add(COORDINATOR_ID, "c")
+    mux = FakeMultiplex()
+    state = {"tick": 0}
+
+    def next_signals():
+        index = min(state["tick"], len(script) - 1)
+        state["tick"] += 1
+        return signals(queue=script[index], nodes=router.live_count())
+
+    total = ticks if ticks is not None else len(script)
+    controller = AutoscaleController(
+        cfg, multiplex=mux, router=router, clock=clock, epoch=0.0,
+        signals=next_signals, done=lambda: state["tick"] >= total,
+        metrics=MetricsRegistry(),
+    )
+    scheduler.spawn(controller.body, name="autoscale")
+    scheduler.run()
+    return controller, router, mux
+
+
+def test_controller_scales_out_then_in():
+    # Overload for two ticks, then idle: grow to 3, shrink back.
+    controller, router, mux = drive_controller(
+        [20, 20, 0, 0, 0, 0], ticks=6)
+    actions = [e["action"] for e in controller.events]
+    assert actions == ["scale_out", "scale_out", "scale_in", "scale_in"]
+    assert router.live_count() == 1
+    assert mux.retired == ["writer-2", "writer-1"]  # LIFO victims
+
+
+def test_controller_respects_max_nodes():
+    controller, router, __ = drive_controller([20] * 6, ticks=6)
+    outs = [e for e in controller.events if e["action"] == "scale_out"]
+    assert len(outs) == 2                 # 1 -> 3, then clamped
+    assert router.live_count() == 3
+
+
+def test_controller_exits_when_done():
+    controller, router, __ = drive_controller([0], ticks=1)
+    assert controller.events == []        # done before any decision
+    assert router.live_count() == 1
+
+
+def test_controller_events_record_epoch_relative_times():
+    controller, __, ___ = drive_controller([20, 0, 0, 0], ticks=4)
+    out = controller.events[0]
+    assert out["action"] == "scale_out"
+    assert out["started"] == 1.0          # first tick fires at t=1
+    assert out["completed"] >= out["started"] + 0.5  # spin-up modeled
+
+
+# --------------------------------------------------------------------- #
+# drain-and-retire on a real multiplex
+# --------------------------------------------------------------------- #
+
+def make_mux():
+    return Multiplex(
+        DatabaseConfig(seed=7, page_size=4096,
+                       buffer_capacity_bytes=16 * 1024,
+                       ocm_capacity_bytes=1 << 20,
+                       system_volume_size_bytes=32 * 1024 * 1024),
+        MultiplexConfig(writers=1, secondary_buffer_bytes=16 * 1024,
+                        secondary_ocm_bytes=1 << 20),
+    )
+
+
+def test_add_secondary_names_are_monotone_never_reused():
+    mux = make_mux()
+    first = mux.add_secondary("writer")
+    assert first.node_id == "writer-2"
+    mux.retire_secondary(first.node_id)
+    second = mux.add_secondary("writer")
+    assert second.node_id == "writer-3"   # ids never recycle
+
+
+def test_retire_flushes_commits_and_detaches():
+    mux = make_mux()
+    node = mux.add_secondary("writer")
+    mux.coordinator.create_object("t")
+    txn = node.begin()
+    node.write_page(txn, "t", 0, b"x" * 512)
+    node.commit(txn)
+    mux.retire_secondary(node.node_id)
+    assert node.node_id not in [n.node_id for n in mux.secondaries()]
+    assert node.crashed                   # stray handles cannot serve
+    # The committed page survives the node, cold, via the coordinator.
+    txn = mux.coordinator.begin()
+    assert mux.coordinator.read_page(txn, "t", 0) == b"x" * 512
+    mux.coordinator.rollback(txn)
+
+
+def test_retire_rejects_active_transactions():
+    mux = make_mux()
+    node = mux.add_secondary("writer")
+    mux.coordinator.create_object("t")
+    txn = node.begin()
+    node.write_page(txn, "t", 0, b"y" * 512)
+    with pytest.raises(MultiplexError):
+        mux.retire_secondary(node.node_id)
+    node.commit(txn)
+    mux.retire_secondary(node.node_id)
+
+
+def test_retire_rejects_crashed_and_unknown_nodes():
+    mux = make_mux()
+    node = mux.add_secondary("writer")
+    node.crash()
+    with pytest.raises(MultiplexError):
+        mux.retire_secondary(node.node_id)
+    with pytest.raises(MultiplexError):
+        mux.retire_secondary("writer-99")
+
+
+def test_retire_reclaims_orphan_keys():
+    mux = make_mux()
+    node = mux.add_secondary("writer")
+    mux.coordinator.create_object("t")
+    txn = node.begin()
+    node.write_page(txn, "t", 0, b"z" * 512)
+    node.commit(txn)
+    for i in range(3):
+        node.user_dbspace.write_page(b"orphan" * 100, commit_mode=True)
+    assert mux.retire_secondary(node.node_id) >= 3
